@@ -1,0 +1,315 @@
+// Package bench holds the benchmark harness that regenerates the
+// paper's tables as Go benchmarks. Each BenchmarkTableN* target runs
+// one cell (or column) of the corresponding paper table on a scaled
+// grid and reports the simulated machine time as the custom metric
+// "vsec" alongside host ns/op; cmd/chaosbench runs the full paper-size
+// grid. Ablation benchmarks cover the design choices called out in
+// DESIGN.md.
+package bench
+
+import (
+	"testing"
+
+	"chaos/internal/core"
+	"chaos/internal/experiments"
+	"chaos/internal/iterpart"
+	"chaos/internal/machine"
+	"chaos/internal/registry"
+	"chaos/internal/schedule"
+	"chaos/internal/ttable"
+
+	"chaos/internal/dist"
+)
+
+// benchGrid is the scaled configuration used by the Go benchmarks
+// (the full paper grid lives behind cmd/chaosbench).
+const (
+	benchMeshNodes = 2000
+	benchProcs     = 8
+	benchIters     = 10
+)
+
+func runCell(b *testing.B, cfg experiments.Config) {
+	b.Helper()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		ph, err := experiments.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = ph.Total()
+	}
+	b.ReportMetric(total, "vsec")
+}
+
+// --- Table 1: schedule reuse vs none (paper Table 1) ---
+
+func BenchmarkTable1ScheduleReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+	})
+}
+
+func BenchmarkTable1NoReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: false, Iters: benchIters,
+	})
+}
+
+func BenchmarkTable1MDScheduleReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: 4, Workload: experiments.Water648(),
+		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+	})
+}
+
+func BenchmarkTable1MDNoReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: 4, Workload: experiments.Water648(),
+		Partitioner: "RCB", Reuse: false, Iters: benchIters,
+	})
+}
+
+// --- Table 2: partitioner/codegen regimes on the mesh template ---
+
+func BenchmarkTable2RCBCompilerReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: true, Iters: benchIters, Compiler: true,
+	})
+}
+
+func BenchmarkTable2RCBCompilerNoReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: false, Iters: benchIters, Compiler: true,
+	})
+}
+
+func BenchmarkTable2RCBHand(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+	})
+}
+
+func BenchmarkTable2BlockHand(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "BLOCK", Reuse: true, Iters: benchIters,
+	})
+}
+
+func BenchmarkTable2RSBCompilerReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RSB", Reuse: true, Iters: benchIters, Compiler: true,
+	})
+}
+
+// --- Table 3: compiler-linked RCB detail (one cell per proc count) ---
+
+func BenchmarkTable3RCBDetailP4(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: 4, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: true, Iters: benchIters, Compiler: true,
+	})
+}
+
+func BenchmarkTable3RCBDetailP16(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: 16, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: true, Iters: benchIters, Compiler: true,
+	})
+}
+
+// --- Table 4: BLOCK partitioning with schedule reuse ---
+
+func BenchmarkTable4BlockP4(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: 4, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "BLOCK", Reuse: true, Iters: benchIters,
+	})
+}
+
+func BenchmarkTable4BlockP16(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: 16, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "BLOCK", Reuse: true, Iters: benchIters,
+	})
+}
+
+// --- Ablation: inspector dedup of duplicate off-processor refs ---
+
+func benchDedup(b *testing.B, noDedup bool) {
+	b.Helper()
+	w := experiments.MeshWorkload(benchMeshNodes)
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		t, err := machine.MaxClock(machine.IPSC860(benchProcs), func(c *machine.Ctx) {
+			d := dist.NewBlock(w.NNode, c.Procs())
+			local := make([]float64, d.LocalSize(c.Rank()))
+			ib := dist.NewBlock(w.NIter, c.Procs())
+			lo, hi := ib.Lo(c.Rank()), ib.Hi(c.Rank())
+			globals := make([]int, 0, 2*(hi-lo))
+			for e := lo; e < hi; e++ {
+				globals = append(globals, w.E1[e], w.E2[e])
+			}
+			sch, _ := schedule.BuildGather(c, ttable.Regular{D: d}, len(local),
+				globals, schedule.Options{NoDedup: noDedup})
+			ghost := make([]float64, sch.NGhost())
+			for it := 0; it < benchIters; it++ {
+				sch.Gather(c, local, ghost)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsec = t
+	}
+	b.ReportMetric(vsec, "vsec")
+}
+
+func BenchmarkAblationDedup(b *testing.B)   { benchDedup(b, false) }
+func BenchmarkAblationNoDedup(b *testing.B) { benchDedup(b, true) }
+
+// --- Ablation: iteration-partitioning policy ---
+
+func benchIterPolicy(b *testing.B, pol iterpart.Policy, skip bool) {
+	b.Helper()
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+		IterPolicy: pol, SkipIterPart: skip,
+	})
+}
+
+func BenchmarkAblationIterAlmostOwner(b *testing.B) {
+	benchIterPolicy(b, iterpart.AlmostOwnerComputes, false)
+}
+func BenchmarkAblationIterOwnerComputes(b *testing.B) {
+	benchIterPolicy(b, iterpart.OwnerComputes, false)
+}
+func BenchmarkAblationIterBlock(b *testing.B) {
+	benchIterPolicy(b, iterpart.BlockIterations, true)
+}
+
+// --- Ablation: KL refinement on top of RSB ---
+
+func BenchmarkAblationRSB(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RSB", Reuse: true, Iters: benchIters,
+	})
+}
+
+func BenchmarkAblationRSBKL(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "RSB-KL", Reuse: true, Iters: benchIters,
+	})
+}
+
+// --- Ablation: distributed vs replicated translation table ---
+
+func benchTranslation(b *testing.B, replicated, cached bool) {
+	b.Helper()
+	w := experiments.MeshWorkload(benchMeshNodes)
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		t, err := machine.MaxClock(machine.IPSC860(benchProcs), func(c *machine.Ctx) {
+			// An irregular distribution dealt round-robin by hash.
+			var mine []int
+			for g := 0; g < w.NNode; g++ {
+				if int(uint(g*2654435761)>>4)%c.Procs() == c.Rank() {
+					mine = append(mine, g)
+				}
+			}
+			tab := ttable.Build(c, w.NNode, mine)
+			if cached {
+				tab.EnableCache()
+			}
+			var res ttable.Resolver = tab
+			if replicated {
+				res = ttable.Regular{D: tab.Replicated(c)}
+			}
+			ib := dist.NewBlock(w.NIter, c.Procs())
+			lo, hi := ib.Lo(c.Rank()), ib.Hi(c.Rank())
+			globals := make([]int, 0, 2*(hi-lo))
+			for e := lo; e < hi; e++ {
+				globals = append(globals, w.E1[e], w.E2[e])
+			}
+			for it := 0; it < 5; it++ {
+				res.Resolve(c, globals)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsec = t
+	}
+	b.ReportMetric(vsec, "vsec")
+}
+
+func BenchmarkAblationTranslationDistributed(b *testing.B) { benchTranslation(b, false, false) }
+func BenchmarkAblationTranslationReplicated(b *testing.B)  { benchTranslation(b, true, false) }
+func BenchmarkAblationTranslationCached(b *testing.B)      { benchTranslation(b, false, true) }
+
+// --- Ablation: schedule fusion (one comm phase per array vs per access) ---
+
+func benchMergeAccesses(b *testing.B, merge bool) {
+	b.Helper()
+	w := experiments.MeshWorkload(benchMeshNodes)
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		t, err := machine.MaxClock(machine.IPSC860(benchProcs), func(c *machine.Ctx) {
+			s := core.NewSession(c)
+			x := s.NewArray("x", w.NNode)
+			y := s.NewArray("y", w.NNode)
+			x.FillByGlobal(w.Init)
+			e1 := s.NewIntArray("e1", w.NIter)
+			e2 := s.NewIntArray("e2", w.NIter)
+			e1.FillByGlobal(func(g int) int { return w.E1[g] })
+			e2.FillByGlobal(func(g int) int { return w.E2[g] })
+			loop := s.NewLoop("sweep", w.NIter,
+				[]core.Read{{Arr: x, Ind: e1}, {Arr: x, Ind: e2}},
+				[]core.Write{{Arr: y, Ind: e1, Op: core.Add}, {Arr: y, Ind: e2, Op: core.Add}},
+				w.Flops, w.Kernel)
+			loop.MergeAccesses = merge
+			for it := 0; it < benchIters; it++ {
+				loop.Execute()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsec = t
+	}
+	b.ReportMetric(vsec, "vsec")
+}
+
+func BenchmarkAblationSeparateAccesses(b *testing.B) { benchMergeAccesses(b, false) }
+func BenchmarkAblationMergedAccesses(b *testing.B)   { benchMergeAccesses(b, true) }
+
+// --- Ablation: reuse-check overhead (the cost of the guard itself) ---
+
+func BenchmarkAblationReuseCheckOverhead(b *testing.B) {
+	// Measures the pure bookkeeping cost of the conservative check on
+	// an always-valid record: this is the host-side overhead every
+	// executor iteration pays for the ability to reuse schedules — a
+	// handful of integer comparisons, exactly as the paper argues.
+	r := registry.New()
+	a := dist.NewDADAllocator()
+	data := []dist.DAD{a.New(dist.Irregular, 53000), a.New(dist.Irregular, 53000)}
+	ind := []dist.DAD{a.New(dist.Block, 350000), a.New(dist.Block, 350000)}
+	var rec registry.LoopRecord
+	r.Record(&rec, data, ind)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.Check(&rec, data, ind) {
+			b.Fatal("check unexpectedly failed")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package chaos is the public API of CHAOS-Go, a reproduction of the
+// CHAOS/PARTI runtime-compilation system of Ponnusamy, Saltz and
+// Choudhary, "Runtime Compilation Techniques for Data Partitioning and
+// Communication Schedule Reuse" (Supercomputing '93).
+//
+// The API mirrors the paper's Fortran D language extensions at the
+// runtime-call level — the calls a distributed-memory compiler would
+// emit (paper Figure 6):
+//
+//	chaos.Run(chaos.IPSC860(16), func(s *chaos.Session) {
+//	    x := s.NewArray("x", nnode)            // REAL*8 x(nnode), BLOCK
+//	    y := s.NewArray("y", nnode)            // REAL*8 y(nnode), BLOCK
+//	    e1 := s.NewIntArray("end_pt1", nedge)  // INTEGER end_pt1(nedge)
+//	    e2 := s.NewIntArray("end_pt2", nedge)
+//	    // ... fill arrays ...
+//	    g := s.Construct(nnode, chaos.GeoColInput{Link1: e1, Link2: e2}) // C$ CONSTRUCT G (nnode, LINK(...))
+//	    m, _ := s.SetByPartitioning(g, "RSB", s.C.Procs())               // C$ SET distfmt BY PARTITIONING G USING RSB
+//	    s.Redistribute(m, []*chaos.Array{x, y}, nil)                     // C$ REDISTRIBUTE reg(distfmt)
+//	    loop := s.NewLoop("sweep", nedge,
+//	        []chaos.Read{{Arr: x, Ind: e1}, {Arr: x, Ind: e2}},
+//	        []chaos.Write{{Arr: y, Ind: e1, Op: chaos.Add}, {Arr: y, Ind: e2, Op: chaos.Add}},
+//	        8, flux)
+//	    loop.PartitionIterations(chaos.AlmostOwnerComputes)
+//	    for t := 0; t < 100; t++ {
+//	        loop.Execute() // inspector runs once; schedules are reused
+//	    }
+//	})
+//
+// Everything runs on a simulated distributed-memory machine (package
+// internal/machine): each processor is a goroutine with a virtual clock
+// charged by an iPSC/860-calibrated cost model, so experiments report
+// deterministic machine-like times.
+package chaos
+
+import (
+	"chaos/internal/core"
+	"chaos/internal/iterpart"
+	"chaos/internal/machine"
+	"chaos/internal/partition"
+)
+
+// Session is one rank's runtime instance; see internal/core.Session.
+type Session = core.Session
+
+// Array is a distributed REAL*8 array.
+type Array = core.Array
+
+// IntArray is a distributed INTEGER array (indirection arrays).
+type IntArray = core.IntArray
+
+// Loop is an irregular forall loop handled by inspector/executor.
+type Loop = core.Loop
+
+// Read is a gathered right-hand-side access Arr(Ind(i)).
+type Read = core.Read
+
+// Write is a reduced left-hand-side access Arr(Ind(i)).
+type Write = core.Write
+
+// Mapping is a computed irregular distribution (a map array).
+type Mapping = core.Mapping
+
+// MapperRecord caches a CONSTRUCT+PARTITION result for reuse.
+type MapperRecord = core.MapperRecord
+
+// GeoColInput declares the arrays feeding a CONSTRUCT directive.
+type GeoColInput = core.GeoColInput
+
+// Reduce is a left-hand-side reduction operator.
+type Reduce = core.Reduce
+
+// Reduction operators for Write accesses.
+const (
+	Assign = core.Assign
+	Add    = core.Add
+	Max    = core.Max
+	Min    = core.Min
+	Mul    = core.Mul
+)
+
+// Policy selects the loop-iteration placement convention.
+type Policy = iterpart.Policy
+
+// Iteration-placement policies.
+const (
+	AlmostOwnerComputes = iterpart.AlmostOwnerComputes
+	OwnerComputes       = iterpart.OwnerComputes
+	BlockIterations     = iterpart.BlockIterations
+)
+
+// Config describes the simulated machine.
+type Config = machine.Config
+
+// Ctx is the per-rank machine handle (message passing, virtual clock).
+type Ctx = machine.Ctx
+
+// IPSC860 returns a machine configuration calibrated to the Intel
+// iPSC/860 hypercube used in the paper.
+func IPSC860(procs int) Config { return machine.IPSC860(procs) }
+
+// ZeroCost returns a configuration whose cost model charges nothing;
+// useful for pure-correctness runs.
+func ZeroCost(procs int) Config { return machine.Zero(procs) }
+
+// Run executes body on every simulated processor with a fresh Session
+// and blocks until all ranks finish. It returns an error if any rank
+// panics.
+func Run(cfg Config, body func(s *Session)) error {
+	return machine.Run(cfg, func(c *machine.Ctx) {
+		body(core.NewSession(c))
+	})
+}
+
+// Partitioner is the interface user-supplied partitioners implement to
+// be linked via RegisterPartitioner (paper: "the user can link a
+// customized partitioner as long as the calling sequence matches").
+type Partitioner = partition.Partitioner
+
+// RegisterPartitioner links a custom partitioner into the library under
+// its Name.
+func RegisterPartitioner(p Partitioner) { partition.Register(p) }
+
+// Partitioners returns the names of all linked partitioners.
+func Partitioners() []string { return partition.Names() }
+
+// Phase timer names reported by Session.Timer / Session.TimerMax.
+const (
+	TimerGraphGen  = core.TimerGraphGen
+	TimerPartition = core.TimerPartition
+	TimerRemap     = core.TimerRemap
+	TimerInspector = core.TimerInspector
+	TimerExecutor  = core.TimerExecutor
+)

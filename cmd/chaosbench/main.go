@@ -1,0 +1,89 @@
+// Command chaosbench regenerates the tables of the paper's evaluation
+// section (Ponnusamy, Saltz, Choudhary, SC'93) on the simulated
+// iPSC/860.
+//
+// Usage:
+//
+//	chaosbench [-table N] [-quick] [-iters N] [-markdown]
+//
+// With no -table flag every table (1-4) is produced. -quick runs a
+// scaled-down grid (smaller meshes, fewer processors and iterations)
+// that finishes in seconds; the full paper grid (10K/53K meshes, up to
+// 64 simulated processors, 100 iterations) takes several minutes of
+// host time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chaos/internal/experiments"
+	"chaos/internal/report"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "table to regenerate (1-4); 0 = all")
+		quick     = flag.Bool("quick", false, "scaled-down grid for a fast run")
+		iters     = flag.Int("iters", 0, "override executor iteration count")
+		markdown  = flag.Bool("markdown", false, "emit markdown tables")
+		crossover = flag.Bool("crossover", false, "partitioner amortization/crossover study instead of tables")
+	)
+	flag.Parse()
+
+	grid := experiments.PaperGrid()
+	if *quick {
+		grid = experiments.QuickGrid()
+	}
+	if *iters > 0 {
+		grid.Iters = *iters
+	}
+
+	if *crossover {
+		w := experiments.MeshWorkload(grid.MeshB)
+		rep, err := experiments.CrossoverReport(grid.Table2Procs, w,
+			[]string{"BLOCK", "RCB", "RSB"}, grid.Iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		return
+	}
+
+	type gen struct {
+		id int
+		fn func(experiments.Grid) (*report.Table, error)
+	}
+	gens := []gen{
+		{1, experiments.Table1},
+		{2, experiments.Table2},
+		{3, experiments.Table3},
+		{4, experiments.Table4},
+	}
+	ran := false
+	for _, g := range gens {
+		if *table != 0 && *table != g.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		t, err := g.fn(grid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosbench: table %d: %v\n", g.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("[table %d regenerated in %.1fs host time]\n\n", g.id, time.Since(start).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "chaosbench: unknown table %d (have 1-4)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"chaos/internal/dist"
+	"chaos/internal/geocol"
+	"chaos/internal/partition"
+	"chaos/internal/registry"
+)
+
+// GeoColInput declares the program arrays feeding a CONSTRUCT
+// directive. Connectivity (LINK) comes from a pair of indirection
+// arrays; geometry (GEOMETRY) from coordinate arrays aligned with the
+// vertex space; load (LOAD) from a weight array. Any combination is
+// allowed, mirroring the paper's Section 4.1.2.
+type GeoColInput struct {
+	// Link supplies edge endpoint arrays (both must be aligned).
+	Link1, Link2 *IntArray
+	// Geometry supplies coordinate arrays, one per spatial dimension.
+	Geometry []*Array
+	// Load supplies per-vertex computational weight.
+	Load *Array
+}
+
+// dads lists the DADs of every contributing array, in a fixed order,
+// for the reuse guard.
+func (in GeoColInput) dads() []dist.DAD {
+	var ds []dist.DAD
+	if in.Link1 != nil {
+		ds = append(ds, in.Link1.DAD())
+	}
+	if in.Link2 != nil {
+		ds = append(ds, in.Link2.DAD())
+	}
+	for _, g := range in.Geometry {
+		ds = append(ds, g.DAD())
+	}
+	if in.Load != nil {
+		ds = append(ds, in.Load.DAD())
+	}
+	return ds
+}
+
+// Construct builds the GeoCoL data structure for an n-vertex index
+// space from program arrays (the CONSTRUCT directive, Phase A). The
+// graph-generation cost is attributed to TimerGraphGen. Collective.
+func (s *Session) Construct(n int, in GeoColInput) *geocol.Graph {
+	var g *geocol.Graph
+	s.timed(TimerGraphGen, func() {
+		var opts []geocol.Option
+		if in.Link1 != nil || in.Link2 != nil {
+			if in.Link1 == nil || in.Link2 == nil {
+				panic("core: CONSTRUCT LINK requires both endpoint arrays")
+			}
+			opts = append(opts, geocol.WithLink(in.Link1.Data, in.Link2.Data))
+		}
+		if len(in.Geometry) > 0 {
+			cols := make([][]float64, len(in.Geometry))
+			for d, arr := range in.Geometry {
+				cols[d] = arr.Data
+			}
+			opts = append(opts, geocol.WithGeometry(cols...))
+		}
+		if in.Load != nil {
+			opts = append(opts, geocol.WithLoad(in.Load.Data))
+		}
+		g = geocol.Build(s.C, n, opts...)
+	})
+	return g
+}
+
+// SetByPartitioning runs the named partitioner on a GeoCoL graph and
+// returns the resulting irregular distribution (the SET distfmt BY
+// PARTITIONING G USING <name> directive). The partitioner cost is
+// attributed to TimerPartition. Collective.
+func (s *Session) SetByPartitioning(g *geocol.Graph, partitioner string, nparts int) (*Mapping, error) {
+	p, err := partition.Lookup(partitioner)
+	if err != nil {
+		return nil, err
+	}
+	var m *Mapping
+	s.timed(TimerPartition, func() {
+		part := p.Partition(s.C, g, nparts)
+		m = &Mapping{n: g.N, home: g.Home, part: part}
+	})
+	return m, nil
+}
+
+// MapperRecord caches the result of a CONSTRUCT + PARTITIONING pair so
+// the runtime can "avoid generating a new GeoCoL graph and carrying out
+// a potentially expensive repartition when no change has occurred"
+// (paper Section 3). The guard is the same conservative DAD/timestamp
+// check used for inspector reuse, applied to the arrays feeding the
+// CONSTRUCT.
+type MapperRecord struct {
+	rec     registry.LoopRecord
+	mapping *Mapping
+}
+
+// Mapping returns the cached mapping (nil before the first build).
+func (mr *MapperRecord) Mapping() *Mapping { return mr.mapping }
+
+// ConstructAndPartition is the reuse-guarded Phase A: if none of the
+// input arrays may have changed since the cached mapping was computed,
+// the cached mapping is returned without rebuilding the GeoCoL graph or
+// re-running the partitioner. Collective.
+func (s *Session) ConstructAndPartition(mr *MapperRecord, n int, in GeoColInput, partitioner string, nparts int) (*Mapping, error) {
+	inputDADs := in.dads()
+	for _, d := range inputDADs {
+		s.Reg.Track(d)
+	}
+	s.C.Words(2 * len(inputDADs)) // the guard itself is a few comparisons
+	if s.Reg.Check(&mr.rec, nil, inputDADs) && mr.mapping != nil {
+		return mr.mapping, nil
+	}
+	g := s.Construct(n, in)
+	m, err := s.SetByPartitioning(g, partitioner, nparts)
+	if err != nil {
+		return nil, err
+	}
+	mr.mapping = m
+	s.Reg.Record(&mr.rec, nil, inputDADs)
+	return m, nil
+}

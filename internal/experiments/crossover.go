@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Amortization decomposes a configuration's cost into the one-time
+// mapping overhead (graph generation + partitioner + remap + first
+// inspector) and the per-iteration executor cost, the decomposition
+// behind the paper's remark that "the number of executor iterations on
+// which [the] partitioner should be chosen" matters: an expensive
+// partitioner pays off only past a crossover iteration count.
+type Amortization struct {
+	Partitioner string
+	// Fixed is the one-time preprocessing cost in virtual seconds.
+	Fixed float64
+	// PerIter is the executor cost per iteration.
+	PerIter float64
+}
+
+// Cost returns the total virtual time for iters executor iterations.
+func (a Amortization) Cost(iters int) float64 {
+	return a.Fixed + float64(iters)*a.PerIter
+}
+
+// MeasureAmortization runs the pipeline once with a probe iteration
+// count and extracts the fixed/per-iteration decomposition.
+func MeasureAmortization(procs int, w *Workload, partitioner string, probeIters int) (Amortization, error) {
+	ph, err := Run(Config{
+		Procs: procs, Workload: w, Partitioner: partitioner,
+		Reuse: true, Iters: probeIters,
+	})
+	if err != nil {
+		return Amortization{}, err
+	}
+	return Amortization{
+		Partitioner: partitioner,
+		Fixed:       ph.GraphGen + ph.Partition + ph.Remap + ph.Inspector,
+		PerIter:     ph.Executor / float64(probeIters),
+	}, nil
+}
+
+// Crossover returns the executor iteration count past which b becomes
+// cheaper than a, or -1 when b never catches up (its per-iteration cost
+// is not lower).
+func Crossover(a, b Amortization) int {
+	if b.PerIter >= a.PerIter {
+		return -1
+	}
+	x := (b.Fixed - a.Fixed) / (a.PerIter - b.PerIter)
+	if x <= 0 {
+		return 0
+	}
+	return int(math.Ceil(x))
+}
+
+// CrossoverReport formats the partitioner-amortization study for one
+// workload: per method, the fixed cost, per-iteration executor cost,
+// totals at 1/100/1000 iterations, and pairwise crossovers against the
+// cheapest-to-run method.
+func CrossoverReport(procs int, w *Workload, partitioners []string, probeIters int) (string, error) {
+	var ams []Amortization
+	for _, p := range partitioners {
+		a, err := MeasureAmortization(procs, w, p, probeIters)
+		if err != nil {
+			return "", err
+		}
+		ams = append(ams, a)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partitioner amortization: %s, %d processors (virtual seconds)\n", w.Name, procs)
+	fmt.Fprintf(&b, "%-10s %10s %12s %10s %10s %10s\n",
+		"method", "fixed", "sec/iter", "@1", "@100", "@1000")
+	for _, a := range ams {
+		fmt.Fprintf(&b, "%-10s %10.2f %12.4f %10.1f %10.1f %10.1f\n",
+			a.Partitioner, a.Fixed, a.PerIter, a.Cost(1), a.Cost(100), a.Cost(1000))
+	}
+	// Crossovers relative to the first (baseline) method.
+	base := ams[0]
+	for _, a := range ams[1:] {
+		x := Crossover(base, a)
+		if x < 0 {
+			fmt.Fprintf(&b, "%s never overtakes %s (per-iteration cost not lower)\n",
+				a.Partitioner, base.Partitioner)
+		} else {
+			fmt.Fprintf(&b, "%s overtakes %s after %d executor iterations\n",
+				a.Partitioner, base.Partitioner, x)
+		}
+	}
+	return b.String(), nil
+}

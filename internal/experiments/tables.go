@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chaos/internal/report"
+)
+
+// Grid fixes the workload/processor matrix of Tables 1, 3 and 4 and
+// the single configuration of Table 2.
+type Grid struct {
+	// MeshA/MeshB are the two Euler mesh sizes (paper: 10K and 53K).
+	MeshA, MeshB int
+	// ProcsA/ProcsB/ProcsMD are the processor counts per column group
+	// (paper: 4/8/16, 16/32/64, 4/8/16).
+	ProcsA, ProcsB, ProcsMD []int
+	// Table2Procs is the Table 2 machine size (paper: 32).
+	Table2Procs int
+	// Iters is the executor iteration count (paper: 100).
+	Iters int
+}
+
+// PaperGrid reproduces the paper's exact configurations.
+func PaperGrid() Grid {
+	return Grid{
+		MeshA: 10000, MeshB: 53000,
+		ProcsA: []int{4, 8, 16}, ProcsB: []int{16, 32, 64}, ProcsMD: []int{4, 8, 16},
+		Table2Procs: 32, Iters: 100,
+	}
+}
+
+// QuickGrid is a scaled-down matrix for smoke tests and CI: the same
+// shape at a fraction of the cost.
+func QuickGrid() Grid {
+	return Grid{
+		MeshA: 1000, MeshB: 4000,
+		ProcsA: []int{2, 4, 8}, ProcsB: []int{4, 8, 16}, ProcsMD: []int{2, 4, 8},
+		Table2Procs: 8, Iters: 10,
+	}
+}
+
+// cells enumerates the (workload, procs) columns of the 9-column grid.
+func (g Grid) cells() (ws []*Workload, procs []int, labels []string) {
+	type group struct {
+		w  *Workload
+		ps []int
+		lb string
+	}
+	groups := []group{
+		{MeshWorkload(g.MeshA), g.ProcsA, fmt.Sprintf("%dK Mesh", g.MeshA/1000)},
+		{MeshWorkload(g.MeshB), g.ProcsB, fmt.Sprintf("%dK Mesh", g.MeshB/1000)},
+		{Water648(), g.ProcsMD, "648 Atoms"},
+	}
+	if g.MeshA < 1000 {
+		groups[0].lb = fmt.Sprintf("%d Mesh", g.MeshA)
+	}
+	if g.MeshB < 1000 {
+		groups[1].lb = fmt.Sprintf("%d Mesh", g.MeshB)
+	}
+	for _, gr := range groups {
+		for _, p := range gr.ps {
+			ws = append(ws, gr.w)
+			procs = append(procs, p)
+			labels = append(labels, fmt.Sprintf("%s/%d", gr.lb, p))
+		}
+	}
+	return
+}
+
+// Table1 regenerates the paper's Table 1: total time over the full grid
+// with and without communication-schedule reuse, arrays decomposed with
+// recursive coordinate bisection.
+func Table1(g Grid) (*report.Table, error) {
+	ws, procs, labels := g.cells()
+	t := report.New("Table 1: Performance With and Without Schedule Reuse",
+		"virtual seconds, "+fmt.Sprint(g.Iters)+" iterations, RCB decomposition",
+		labels, []string{"No Schedule Reuse", "Schedule Reuse"})
+	for i := range ws {
+		for _, reuse := range []bool{false, true} {
+			ph, err := Run(Config{
+				Procs: procs[i], Workload: ws[i], Partitioner: "RCB",
+				Reuse: reuse, Iters: g.Iters,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := "No Schedule Reuse"
+			if reuse {
+				row = "Schedule Reuse"
+			}
+			t.Set(row, labels[i], ph.Total())
+		}
+	}
+	return t, nil
+}
+
+// Table2 regenerates the paper's Table 2: the 53K-mesh template on 32
+// processors under five regimes — coordinate bisection driven by the
+// compiler (with and without schedule reuse) and by hand, naive BLOCK
+// partitioning by hand, and compiler-driven spectral bisection.
+func Table2(g Grid) (*report.Table, error) {
+	w := MeshWorkload(g.MeshB)
+	p := g.Table2Procs
+	cols := []string{
+		"RCB Compiler Reuse", "RCB Compiler NoReuse", "RCB Hand",
+		"BLOCK Hand", "RSB Compiler Reuse",
+	}
+	rows := []string{"Graph Generation", "Partitioner", "Remap", "Inspector", "Executor", "Total"}
+	t := report.New(
+		fmt.Sprintf("Table 2: Unstructured Mesh Template - %d Mesh - %d Processors", w.NNode, p),
+		fmt.Sprintf("virtual seconds, %d iterations", g.Iters), cols, rows)
+
+	set := func(col string, ph Phases) {
+		t.Set("Graph Generation", col, ph.GraphGen)
+		t.Set("Partitioner", col, ph.Partition)
+		t.Set("Remap", col, ph.Remap)
+		t.Set("Inspector", col, ph.Inspector)
+		t.Set("Executor", col, ph.Executor)
+		t.Set("Total", col, ph.Total())
+	}
+	cfgs := []struct {
+		col  string
+		conf Config
+	}{
+		{"RCB Compiler Reuse", Config{Procs: p, Workload: w, Partitioner: "RCB", Reuse: true, Iters: g.Iters, Compiler: true}},
+		{"RCB Compiler NoReuse", Config{Procs: p, Workload: w, Partitioner: "RCB", Reuse: false, Iters: g.Iters, Compiler: true}},
+		{"RCB Hand", Config{Procs: p, Workload: w, Partitioner: "RCB", Reuse: true, Iters: g.Iters}},
+		{"BLOCK Hand", Config{Procs: p, Workload: w, Partitioner: "BLOCK", Reuse: true, Iters: g.Iters}},
+		{"RSB Compiler Reuse", Config{Procs: p, Workload: w, Partitioner: "RSB", Reuse: true, Iters: g.Iters, Compiler: true}},
+	}
+	for _, c := range cfgs {
+		ph, err := Run(c.conf)
+		if err != nil {
+			return nil, err
+		}
+		set(c.col, ph)
+	}
+	return t, nil
+}
+
+// Table3 regenerates the paper's Table 3: per-phase detail of the
+// compiler-linked coordinate-bisection partitioner with schedule reuse
+// over the full grid.
+func Table3(g Grid) (*report.Table, error) {
+	ws, procs, labels := g.cells()
+	rows := []string{"Partitioner", "Inspector", "Remap", "Executor", "Total"}
+	t := report.New("Table 3: Performance of Compiler-linked Coordinate Bisection Partitioner with Schedule Reuse",
+		fmt.Sprintf("virtual seconds, %d iterations", g.Iters), labels, rows)
+	for i := range ws {
+		cfg := Config{Procs: procs[i], Workload: ws[i], Partitioner: "RCB", Reuse: true, Iters: g.Iters}
+		// The MD workload runs the hand path (its kernel closes over
+		// pair geometry); mesh cells run the compiler path as the
+		// table title says.
+		if !ws[i].MD {
+			cfg.Compiler = true
+		}
+		ph, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Set("Partitioner", labels[i], ph.GraphGen+ph.Partition)
+		t.Set("Inspector", labels[i], ph.Inspector)
+		t.Set("Remap", labels[i], ph.Remap)
+		t.Set("Executor", labels[i], ph.Executor)
+		t.Set("Total", labels[i], ph.Total())
+	}
+	return t, nil
+}
+
+// Table4 regenerates the paper's Table 4: the naive BLOCK partition
+// with schedule reuse over the full grid.
+func Table4(g Grid) (*report.Table, error) {
+	ws, procs, labels := g.cells()
+	rows := []string{"Inspector", "Remap", "Executor", "Total"}
+	t := report.New("Table 4: Performance of Block Partitioning with Schedule Reuse",
+		fmt.Sprintf("virtual seconds, %d iterations", g.Iters), labels, rows)
+	for i := range ws {
+		ph, err := Run(Config{
+			Procs: procs[i], Workload: ws[i], Partitioner: "BLOCK", Reuse: true, Iters: g.Iters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Set("Inspector", labels[i], ph.Inspector)
+		t.Set("Remap", labels[i], ph.Remap)
+		t.Set("Executor", labels[i], ph.Executor)
+		t.Set("Total", labels[i], ph.Total())
+	}
+	return t, nil
+}

@@ -1,0 +1,266 @@
+// Package geocol implements the GeoCoL (GEOmetry / COnnectivity / Load)
+// interface data structure of the paper's Section 4.1: the standardized
+// representation through which user programs hand partitioners the
+// information data partitioning is to be based on. A GeoCoL graph has N
+// vertices (array indices) and any combination of
+//
+//   - LINK connectivity (graph edges linking vertices, e.g. the union
+//     of edges {ia(i), ib(i)} contributed by an irregular loop),
+//   - GEOMETRY (spatial coordinates per vertex, from mesh node
+//     positions), and
+//   - LOAD (per-vertex computational weight).
+//
+// The structure is built collectively with the vertices block-
+// distributed over ranks (the initial default distribution of the
+// paper's Phase A), and can be gathered for partitioners that run
+// serially.
+package geocol
+
+import (
+	"fmt"
+	"sort"
+
+	"chaos/internal/dist"
+	"chaos/internal/machine"
+)
+
+// Graph is one rank's slice of a GeoCoL data structure. Vertices are
+// distributed by Home (BLOCK); all per-vertex slices are indexed by
+// home-local vertex number.
+type Graph struct {
+	// N is the global vertex count.
+	N int
+	// Home is the construction distribution of the vertex space.
+	Home dist.BlockDist
+
+	// HasLink, HasGeom, HasLoad report which directives contributed.
+	HasLink, HasGeom, HasLoad bool
+
+	// XAdj/Adj form a local CSR: neighbors of home-local vertex l are
+	// Adj[XAdj[l]:XAdj[l+1]], as global vertex ids, sorted, with
+	// duplicates and self-loops removed.
+	XAdj []int
+	Adj  []int
+	// NEdges is the global undirected edge count after dedup.
+	NEdges int
+
+	// Dim and Coords hold GEOMETRY: Coords[d][l] is coordinate d of
+	// home-local vertex l.
+	Dim    int
+	Coords [][]float64
+
+	// Weights holds LOAD: Weights[l] is the computational weight of
+	// home-local vertex l. When no LOAD directive is given, unit
+	// weights are assumed by partitioners.
+	Weights []float64
+}
+
+// Option contributes one directive keyword to a CONSTRUCT.
+type Option func(*spec)
+
+type spec struct {
+	e1, e2  []int
+	hasLink bool
+	coords  [][]float64
+	weights []float64
+}
+
+// WithLink supplies connectivity: edge i links global vertices e1[i]
+// and e2[i]. Each rank passes its locally stored slice of the edge
+// list (edges may name any vertices). Mirrors
+// "LINK(E, edge_list1, edge_list2)".
+func WithLink(e1, e2 []int) Option {
+	return func(s *spec) {
+		if len(e1) != len(e2) {
+			panic(fmt.Sprintf("geocol: LINK lists of unequal length %d, %d", len(e1), len(e2)))
+		}
+		s.e1, s.e2 = e1, e2
+		s.hasLink = true
+	}
+}
+
+// WithGeometry supplies spatial coordinates: coords[d] holds dimension
+// d for this rank's home-resident vertices, in home-local order.
+// Mirrors "GEOMETRY(ndim, xcord, ycord, zcord)".
+func WithGeometry(coords ...[]float64) Option {
+	return func(s *spec) { s.coords = coords }
+}
+
+// WithLoad supplies per-vertex computational weight for this rank's
+// home-resident vertices. Mirrors "LOAD(weight)".
+func WithLoad(w []float64) Option {
+	return func(s *spec) { s.weights = w }
+}
+
+// Build constructs the GeoCoL data structure for n vertices; it is the
+// runtime realization of the CONSTRUCT directive (paper Section 4.1.2).
+// Collective.
+func Build(c *machine.Ctx, n int, opts ...Option) *Graph {
+	var s spec
+	for _, o := range opts {
+		o(&s)
+	}
+	g := &Graph{N: n, Home: dist.NewBlock(n, c.Procs())}
+	localN := g.Home.LocalSize(c.Rank())
+
+	if s.coords != nil {
+		g.HasGeom = true
+		g.Dim = len(s.coords)
+		for d, col := range s.coords {
+			if len(col) != localN {
+				panic(fmt.Sprintf("geocol: GEOMETRY dim %d has %d entries, want %d", d, len(col), localN))
+			}
+			cp := make([]float64, localN)
+			copy(cp, col)
+			g.Coords = append(g.Coords, cp)
+		}
+		c.Words(localN * g.Dim)
+	}
+	if s.weights != nil {
+		g.HasLoad = true
+		if len(s.weights) != localN {
+			panic(fmt.Sprintf("geocol: LOAD has %d entries, want %d", len(s.weights), localN))
+		}
+		g.Weights = make([]float64, localN)
+		copy(g.Weights, s.weights)
+		c.Words(localN)
+	}
+
+	if s.hasLink {
+		g.HasLink = true
+		g.buildLink(c, s.e1, s.e2)
+	} else {
+		g.XAdj = make([]int, localN+1)
+	}
+	return g
+}
+
+// buildLink routes each edge endpoint to the home rank of the vertex,
+// then assembles the deduplicated local CSR.
+func (g *Graph) buildLink(c *machine.Ctx, e1, e2 []int) {
+	p := c.Procs()
+	out := make([][]int, p)
+	emit := func(u, v int) {
+		if u < 0 || u >= g.N || v < 0 || v >= g.N {
+			panic(fmt.Sprintf("geocol: LINK edge (%d,%d) out of range [0,%d)", u, v, g.N))
+		}
+		if u == v {
+			return // self-loops carry no dependence
+		}
+		out[g.Home.Owner(u)] = append(out[g.Home.Owner(u)], u, v)
+	}
+	for i := range e1 {
+		emit(e1[i], e2[i])
+		emit(e2[i], e1[i])
+	}
+	c.Words(4 * len(e1))
+	in := c.AlltoAllInts(out)
+
+	localN := g.Home.LocalSize(c.Rank())
+	lo := g.Home.Lo(c.Rank())
+	adj := make([][]int, localN)
+	for src := 0; src < p; src++ {
+		pairs := in[src]
+		for i := 0; i+1 < len(pairs); i += 2 {
+			u, v := pairs[i], pairs[i+1]
+			adj[u-lo] = append(adj[u-lo], v)
+		}
+	}
+	// Sort and dedup each adjacency list for determinism.
+	g.XAdj = make([]int, localN+1)
+	g.Adj = g.Adj[:0]
+	degSum := 0
+	for l := 0; l < localN; l++ {
+		lst := adj[l]
+		sort.Ints(lst)
+		prev := -1
+		for _, v := range lst {
+			if v != prev {
+				g.Adj = append(g.Adj, v)
+				prev = v
+				degSum++
+			}
+		}
+		g.XAdj[l+1] = len(g.Adj)
+	}
+	c.Words(3 * degSum)
+	g.NEdges = c.SumInt(degSum) / 2
+}
+
+// Degree returns the degree of home-local vertex l.
+func (g *Graph) Degree(l int) int { return g.XAdj[l+1] - g.XAdj[l] }
+
+// Neighbors returns the sorted global neighbor ids of home-local vertex
+// l (do not mutate).
+func (g *Graph) Neighbors(l int) []int { return g.Adj[g.XAdj[l]:g.XAdj[l+1]] }
+
+// LocalN returns the number of home-resident vertices on rank.
+func (g *Graph) LocalN(rank int) int { return g.Home.LocalSize(rank) }
+
+// Weight returns the LOAD weight of home-local vertex l (1 when no
+// LOAD was supplied).
+func (g *Graph) Weight(l int) float64 {
+	if !g.HasLoad {
+		return 1
+	}
+	return g.Weights[l]
+}
+
+// Full is a gathered (replicated) GeoCoL graph used by serial
+// partitioners such as recursive spectral bisection.
+type Full struct {
+	N                         int
+	HasLink, HasGeom, HasLoad bool
+	XAdj, Adj                 []int
+	Dim                       int
+	Coords                    [][]float64
+	Weights                   []float64
+	NEdges                    int
+}
+
+// Gather assembles the complete GeoCoL graph on every rank;
+// collective. The communication is charged to the virtual clock, which
+// is part of the paper's "graph generation" cost for connectivity-based
+// partitioners.
+func (g *Graph) Gather(c *machine.Ctx) *Full {
+	f := &Full{
+		N: g.N, HasLink: g.HasLink, HasGeom: g.HasGeom, HasLoad: g.HasLoad,
+		Dim: g.Dim, NEdges: g.NEdges,
+	}
+	if g.HasLink {
+		// Degrees then adjacency; home ranges are rank-ordered so
+		// concatenation lines up with global vertex order.
+		degs := make([]int, g.Home.LocalSize(c.Rank()))
+		for l := range degs {
+			degs[l] = g.Degree(l)
+		}
+		allDeg := c.AllGatherInts(degs)
+		f.XAdj = make([]int, g.N+1)
+		for v := 0; v < g.N; v++ {
+			f.XAdj[v+1] = f.XAdj[v] + allDeg[v]
+		}
+		f.Adj = c.AllGatherInts(g.Adj)
+	} else {
+		f.XAdj = make([]int, g.N+1)
+	}
+	if g.HasGeom {
+		for _, col := range g.Coords {
+			f.Coords = append(f.Coords, c.AllGatherFloats(col))
+		}
+	}
+	if g.HasLoad {
+		f.Weights = c.AllGatherFloats(g.Weights)
+	}
+	return f
+}
+
+// Weight returns the LOAD weight of global vertex v (1 when absent).
+func (f *Full) Weight(v int) float64 {
+	if !f.HasLoad {
+		return 1
+	}
+	return f.Weights[v]
+}
+
+// Neighbors returns the neighbors of global vertex v.
+func (f *Full) Neighbors(v int) []int { return f.Adj[f.XAdj[v]:f.XAdj[v+1]] }

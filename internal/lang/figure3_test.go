@@ -1,0 +1,152 @@
+package lang
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chaos/internal/core"
+	"chaos/internal/dist"
+	"chaos/internal/machine"
+)
+
+// TestFigure3ExplicitMapArray reproduces the paper's Figure 3: the map
+// array is produced "by some mapping method" (here: the host), aligned
+// with a regular decomposition, and DISTRIBUTE irreg(map) moves the
+// data arrays onto the irregular distribution it describes.
+func TestFigure3ExplicitMapArray(t *testing.T) {
+	const src = `
+      PROGRAM fig3
+      PARAMETER (n = 24)
+      REAL*8 x(n), y(n)
+      INTEGER map(n)
+      DECOMPOSITION reg(n), irreg(n)
+      DISTRIBUTE reg(BLOCK)
+      ALIGN map WITH reg
+C     ... set values of map array using some mapping method ...
+      READ map
+      FORALL i = 1, n
+        x(i) = 2.0 * i
+        y(i) = 0.0 - i
+      END FORALL
+      ALIGN x, y WITH irreg
+      DISTRIBUTE irreg(map)
+      FORALL i = 1, n
+        y(i) = y(i) + x(i)
+      END FORALL
+      END
+`
+	const p = 3
+	mapv := func(g int) int { return (g * 7 % p) }
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.PlanString(), "user map array MAP") {
+		t.Errorf("plan missing map-array remap:\n%s", prog.PlanString())
+	}
+	env := &Env{
+		IntData: map[string]func(int) int{"MAP": mapv},
+		OnFinish: func(s *core.Session, reals map[string]*core.Array, _ map[string]*core.IntArray) {
+			x, y := reals["X"], reals["Y"]
+			if x.DAD().Kind != dist.Irregular || y.DAD().Kind != dist.Irregular {
+				t.Errorf("arrays not irregular after DISTRIBUTE irreg(map)")
+			}
+			// Ownership follows the map array exactly.
+			for _, g := range x.MyGlobals() {
+				if mapv(g) != s.C.Rank() {
+					t.Errorf("rank %d owns %d, map says %d", s.C.Rank(), g, mapv(g))
+				}
+			}
+			// Values survived the remap and the post-remap loop.
+			for i, g := range y.MyGlobals() {
+				want := float64(g) // -g + 2g
+				if math.Abs(y.Data[i]-want) > 1e-12 {
+					t.Errorf("y(%d) = %v, want %v", g, y.Data[i], want)
+				}
+			}
+		},
+	}
+	err = machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		if e := prog.Execute(core.NewSession(c), env); e != nil {
+			t.Error(e)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributeMapErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"extent mismatch", `
+      PROGRAM p
+      PARAMETER (n = 4, m = 6)
+      REAL*8 x(n)
+      INTEGER map(m)
+      DECOMPOSITION d(n)
+      ALIGN x WITH d
+      DISTRIBUTE d(map)
+      END
+`, "does not conform"},
+		{"unknown kind", `
+      PROGRAM p
+      PARAMETER (n = 4)
+      REAL*8 x(n)
+      DECOMPOSITION d(n)
+      ALIGN x WITH d
+      DISTRIBUTE d(CYCLIC)
+      END
+`, "want BLOCK or an INTEGER map array"},
+		{"nothing aligned", `
+      PROGRAM p
+      PARAMETER (n = 4)
+      INTEGER map(n)
+      DECOMPOSITION d(n)
+      DISTRIBUTE d(map)
+      END
+`, "no arrays aligned"},
+		{"not alone on line", `
+      PROGRAM p
+      PARAMETER (n = 4)
+      REAL*8 x(n)
+      INTEGER map(n)
+      DECOMPOSITION d(n), e(n)
+      ALIGN x WITH d
+      DISTRIBUTE d(map), e(BLOCK)
+      END
+`, "only item"},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDistributeMapOutOfRangeValueFails checks the runtime guard on map
+// array contents.
+func TestDistributeMapOutOfRangeValueFails(t *testing.T) {
+	const src = `
+      PROGRAM p
+      PARAMETER (n = 4)
+      REAL*8 x(n)
+      INTEGER map(n)
+      DECOMPOSITION d(n)
+      ALIGN x WITH d
+      READ map
+      DISTRIBUTE d(map)
+      END
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{IntData: map[string]func(int) int{"MAP": func(int) int { return 99 }}}
+	err = machine.Run(machine.Zero(2), func(c *machine.Ctx) {
+		prog.Execute(core.NewSession(c), env)
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,335 @@
+package machine
+
+import "sync"
+
+// rendezvous implements an all-ranks exchange: every rank deposits one
+// value, the last arriver snapshots the deposits and the maximum clock,
+// and every rank leaves with the full snapshot and a synchronized
+// clock. All collectives are built on it, which makes them
+// deterministic regardless of goroutine scheduling.
+type rendezvous struct {
+	m     *Machine
+	mu    sync.Mutex
+	cond  *sync.Cond
+	procs int
+
+	gen    int64
+	count  int
+	vals   []any
+	clocks []float64
+
+	snapVals []any
+	snapTime float64
+}
+
+func newRendezvous(m *Machine, procs int) *rendezvous {
+	r := &rendezvous{
+		m:      m,
+		procs:  procs,
+		vals:   make([]any, procs),
+		clocks: make([]float64, procs),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *rendezvous) wake() { r.cond.Broadcast() }
+
+// exchange deposits x for this rank and returns the slice of all ranks'
+// deposits for the same generation. On return the rank's clock has been
+// advanced to the maximum clock among participants (a synchronizing
+// collective). The returned slice is shared between ranks and must be
+// treated as read-only.
+func (c *Ctx) exchange(x any) []any {
+	c.checkAborted()
+	r := c.m.rdv
+	r.mu.Lock()
+	gen := r.gen
+	r.vals[c.rank] = x
+	r.clocks[c.rank] = c.clock
+	r.count++
+	if r.count == r.procs {
+		snap := make([]any, r.procs)
+		copy(snap, r.vals)
+		maxT := r.clocks[0]
+		for _, t := range r.clocks[1:] {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		r.snapVals = snap
+		r.snapTime = maxT
+		r.count = 0
+		r.gen++
+		r.cond.Broadcast()
+	} else {
+		for r.gen == gen {
+			if ab, _ := c.m.abortedErr(); ab {
+				r.mu.Unlock()
+				panic(abortSignal{})
+			}
+			r.cond.Wait()
+		}
+	}
+	snap := r.snapVals
+	t := r.snapTime
+	r.mu.Unlock()
+	if t > c.clock {
+		c.clock = t
+	}
+	return snap
+}
+
+// collectiveCost charges the virtual clock for one synchronizing
+// collective in which this rank contributes bytes of payload. The model
+// is a log2(P)-depth combining tree: each level pays one message
+// overhead pair plus hop latency, and the payload bytes are charged
+// once.
+func (c *Ctx) collectiveCost(bytes int) {
+	cfg := c.m.cfg
+	lv := float64(logceil(c.procs))
+	c.clock += lv * (cfg.SendOverhead + cfg.RecvOverhead + cfg.HopLatency)
+	c.clock += float64(bytes) * cfg.ByteTime
+}
+
+// Barrier synchronizes all ranks and their virtual clocks.
+func (c *Ctx) Barrier() {
+	c.exchange(nil)
+	c.collectiveCost(0)
+}
+
+// AllReduceFloat combines one float64 per rank with op (applied in rank
+// order, so op should be associative and commutative) and returns the
+// result on every rank.
+func (c *Ctx) AllReduceFloat(x float64, op func(a, b float64) float64) float64 {
+	vals := c.exchange(x)
+	acc := vals[0].(float64)
+	for _, v := range vals[1:] {
+		acc = op(acc, v.(float64))
+	}
+	c.collectiveCost(8)
+	return acc
+}
+
+// AllReduceInt combines one int per rank with op and returns the result
+// on every rank.
+func (c *Ctx) AllReduceInt(x int, op func(a, b int) int) int {
+	vals := c.exchange(x)
+	acc := vals[0].(int)
+	for _, v := range vals[1:] {
+		acc = op(acc, v.(int))
+	}
+	c.collectiveCost(8)
+	return acc
+}
+
+// SumInt returns the sum over ranks of x.
+func (c *Ctx) SumInt(x int) int {
+	return c.AllReduceInt(x, func(a, b int) int { return a + b })
+}
+
+// SumFloat returns the sum over ranks of x.
+func (c *Ctx) SumFloat(x float64) float64 {
+	return c.AllReduceFloat(x, func(a, b float64) float64 { return a + b })
+}
+
+// MaxInt returns the maximum over ranks of x.
+func (c *Ctx) MaxInt(x int) int {
+	return c.AllReduceInt(x, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// MaxFloat returns the maximum over ranks of x.
+func (c *Ctx) MaxFloat(x float64) float64 {
+	return c.AllReduceFloat(x, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// MinFloat returns the minimum over ranks of x.
+func (c *Ctx) MinFloat(x float64) float64 {
+	return c.AllReduceFloat(x, func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllGatherInt gathers one int per rank; result[r] is rank r's value.
+func (c *Ctx) AllGatherInt(x int) []int {
+	vals := c.exchange(x)
+	out := make([]int, c.procs)
+	for i, v := range vals {
+		out[i] = v.(int)
+	}
+	c.collectiveCost(8 * c.procs)
+	return out
+}
+
+// AllGatherFloat gathers one float64 per rank.
+func (c *Ctx) AllGatherFloat(x float64) []float64 {
+	vals := c.exchange(x)
+	out := make([]float64, c.procs)
+	for i, v := range vals {
+		out[i] = v.(float64)
+	}
+	c.collectiveCost(8 * c.procs)
+	return out
+}
+
+// AllGatherInts concatenates each rank's slice in rank order and
+// returns the concatenation on every rank (an allgatherv).
+func (c *Ctx) AllGatherInts(xs []int) []int {
+	cp := make([]int, len(xs))
+	copy(cp, xs)
+	vals := c.exchange(cp)
+	total := 0
+	for _, v := range vals {
+		total += len(v.([]int))
+	}
+	out := make([]int, 0, total)
+	for _, v := range vals {
+		out = append(out, v.([]int)...)
+	}
+	c.collectiveCost(8 * total)
+	return out
+}
+
+// AllGatherFloats concatenates each rank's slice in rank order.
+func (c *Ctx) AllGatherFloats(xs []float64) []float64 {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	vals := c.exchange(cp)
+	total := 0
+	for _, v := range vals {
+		total += len(v.([]float64))
+	}
+	out := make([]float64, 0, total)
+	for _, v := range vals {
+		out = append(out, v.([]float64)...)
+	}
+	c.collectiveCost(8 * total)
+	return out
+}
+
+// BroadcastInts sends root's slice to every rank.
+func (c *Ctx) BroadcastInts(root int, xs []int) []int {
+	var dep any
+	if c.rank == root {
+		cp := make([]int, len(xs))
+		copy(cp, xs)
+		dep = cp
+	}
+	vals := c.exchange(dep)
+	out := vals[root].([]int)
+	c.collectiveCost(8 * len(out))
+	return out
+}
+
+// BroadcastFloats sends root's slice to every rank.
+func (c *Ctx) BroadcastFloats(root int, xs []float64) []float64 {
+	var dep any
+	if c.rank == root {
+		cp := make([]float64, len(xs))
+		copy(cp, xs)
+		dep = cp
+	}
+	vals := c.exchange(dep)
+	out := vals[root].([]float64)
+	c.collectiveCost(8 * len(out))
+	return out
+}
+
+// alltoallCost charges the cost of an irregular all-to-all in which
+// this rank sends sendBytes across nSend non-empty messages and
+// receives recvBytes across nRecv messages. The latency term uses the
+// topology diameter as a conservative per-message distance.
+func (c *Ctx) alltoallCost(nSend, sendBytes, nRecv, recvBytes int) {
+	cfg := c.m.cfg
+	diam := float64(logceil(c.procs))
+	if cfg.Topology == FullyConnected {
+		diam = 1
+	}
+	c.clock += float64(nSend)*cfg.SendOverhead + float64(nRecv)*cfg.RecvOverhead
+	c.clock += float64(nSend+nRecv) / 2 * diam * cfg.HopLatency
+	c.clock += float64(sendBytes+recvBytes) * cfg.ByteTime
+}
+
+// AlltoAllInts performs an irregular all-to-all: out[p] is the slice to
+// deliver to rank p (nil or empty means no message). The result's
+// element [p] is the slice rank p addressed to this rank. Payloads are
+// copied, so callers may reuse out.
+func (c *Ctx) AlltoAllInts(out [][]int) [][]int {
+	if len(out) != c.procs {
+		panic("machine: AlltoAllInts requires one slice per rank")
+	}
+	dep := make([][]int, c.procs)
+	nSend, sendBytes := 0, 0
+	for p, xs := range out {
+		if len(xs) == 0 {
+			continue
+		}
+		cp := make([]int, len(xs))
+		copy(cp, xs)
+		dep[p] = cp
+		if p != c.rank {
+			nSend++
+			sendBytes += 8 * len(xs)
+		}
+	}
+	vals := c.exchange(dep)
+	in := make([][]int, c.procs)
+	nRecv, recvBytes := 0, 0
+	for p := 0; p < c.procs; p++ {
+		mat := vals[p].([][]int)
+		in[p] = mat[c.rank]
+		if p != c.rank && len(in[p]) > 0 {
+			nRecv++
+			recvBytes += 8 * len(in[p])
+		}
+	}
+	c.alltoallCost(nSend, sendBytes, nRecv, recvBytes)
+	return in
+}
+
+// AlltoAllFloats is AlltoAllInts for float64 payloads.
+func (c *Ctx) AlltoAllFloats(out [][]float64) [][]float64 {
+	if len(out) != c.procs {
+		panic("machine: AlltoAllFloats requires one slice per rank")
+	}
+	dep := make([][]float64, c.procs)
+	nSend, sendBytes := 0, 0
+	for p, xs := range out {
+		if len(xs) == 0 {
+			continue
+		}
+		cp := make([]float64, len(xs))
+		copy(cp, xs)
+		dep[p] = cp
+		if p != c.rank {
+			nSend++
+			sendBytes += 8 * len(xs)
+		}
+	}
+	vals := c.exchange(dep)
+	in := make([][]float64, c.procs)
+	nRecv, recvBytes := 0, 0
+	for p := 0; p < c.procs; p++ {
+		mat := vals[p].([][]float64)
+		in[p] = mat[c.rank]
+		if p != c.rank && len(in[p]) > 0 {
+			nRecv++
+			recvBytes += 8 * len(in[p])
+		}
+	}
+	c.alltoallCost(nSend, sendBytes, nRecv, recvBytes)
+	return in
+}

@@ -1,0 +1,269 @@
+// Package machine simulates a distributed-memory multicomputer inside a
+// single Go process.
+//
+// Each simulated processor ("rank") runs the same SPMD body function in
+// its own goroutine and owns a private virtual clock. Communication is
+// explicit message passing: point-to-point Send/Recv plus deterministic
+// collectives (Barrier, AllReduce, AllGather, AlltoAllv, Broadcast).
+// The virtual clock is charged using a LogP-style cost model (per-message
+// send/recv overhead, per-hop latency on the configured topology,
+// per-byte transfer time) plus per-flop and per-word compute charges, so
+// experiments report machine-like "seconds" that are fully deterministic
+// and independent of host scheduling.
+//
+// The default cost model is calibrated to the Intel iPSC/860 hypercube
+// used in the paper this repository reproduces (Ponnusamy, Saltz,
+// Choudhary; Supercomputing '93).
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Topology selects how the per-hop latency term is computed for a
+// point-to-point message.
+type Topology int
+
+const (
+	// FullyConnected charges exactly one hop for every message.
+	FullyConnected Topology = iota
+	// Hypercube charges popcount(src XOR dst) hops, the routing
+	// distance on a binary hypercube (the iPSC/860 interconnect).
+	Hypercube
+	// Ring charges the minimal ring distance between the two ranks.
+	Ring
+)
+
+func (t Topology) String() string {
+	switch t {
+	case FullyConnected:
+		return "fully-connected"
+	case Hypercube:
+		return "hypercube"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Config describes the simulated machine: its size, interconnect
+// topology, and cost model. All times are in seconds.
+type Config struct {
+	// Procs is the number of simulated processors. Must be >= 1.
+	Procs int
+	// Topology determines per-message hop counts.
+	Topology Topology
+
+	// SendOverhead is the sender CPU time consumed per message.
+	SendOverhead float64
+	// RecvOverhead is the receiver CPU time consumed per message.
+	RecvOverhead float64
+	// HopLatency is the network latency per hop.
+	HopLatency float64
+	// ByteTime is the transfer time per byte (inverse bandwidth).
+	ByteTime float64
+
+	// FlopTime is the time per floating-point operation charged by
+	// Ctx.Flops.
+	FlopTime float64
+	// WordTime is the time per word of runtime-preprocessing memory
+	// traffic charged by Ctx.Words (hashing, index translation,
+	// buffer copying and similar inspector work).
+	WordTime float64
+}
+
+// IPSC860 returns a cost model calibrated to the Intel iPSC/860
+// hypercube: roughly 75 microseconds end-to-end message latency, about
+// 2.8 MB/s realized point-to-point bandwidth, and an i860 sustaining a
+// few Mflop/s on irregular, gather/scatter-heavy inner loops.
+func IPSC860(procs int) Config {
+	return Config{
+		Procs:        procs,
+		Topology:     Hypercube,
+		SendOverhead: 40e-6,
+		RecvOverhead: 30e-6,
+		HopLatency:   5e-6,
+		ByteTime:     1.0 / 2.8e6,
+		FlopTime:     1.0 / 3.5e6,
+		WordTime:     1.0 / 9e6,
+	}
+}
+
+// Zero returns a config with the given processor count and a cost model
+// in which all charges are zero. Useful for pure-correctness tests.
+func Zero(procs int) Config {
+	return Config{Procs: procs, Topology: FullyConnected}
+}
+
+// Hops returns the routing distance between two ranks under the
+// configured topology.
+func (c Config) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	switch c.Topology {
+	case Hypercube:
+		return bits.OnesCount(uint(src ^ dst))
+	case Ring:
+		d := src - dst
+		if d < 0 {
+			d = -d
+		}
+		if alt := c.Procs - d; alt < d {
+			d = alt
+		}
+		return d
+	default:
+		return 1
+	}
+}
+
+// logceil returns ceil(log2(p)) with logceil(1) == 0.
+func logceil(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p - 1))
+}
+
+// Machine is one simulated multicomputer instance. It is created by Run
+// and lives only for the duration of the SPMD body.
+type Machine struct {
+	cfg   Config
+	boxes []*mailbox
+	rdv   *rendezvous
+
+	abortMu  sync.Mutex
+	aborted  bool
+	abortErr error
+}
+
+// abort records the first fatal error and wakes every blocked rank.
+func (m *Machine) abort(err error) {
+	m.abortMu.Lock()
+	if !m.aborted {
+		m.aborted = true
+		m.abortErr = err
+	}
+	m.abortMu.Unlock()
+	for _, b := range m.boxes {
+		b.wake()
+	}
+	m.rdv.wake()
+}
+
+func (m *Machine) abortedErr() (bool, error) {
+	m.abortMu.Lock()
+	defer m.abortMu.Unlock()
+	return m.aborted, m.abortErr
+}
+
+// abortSignal is panicked by blocked ranks when another rank has failed;
+// Run swallows it so only the original error is reported.
+type abortSignal struct{}
+
+// Ctx is the per-rank handle passed to the SPMD body. All methods must
+// be called only from the goroutine that owns the rank.
+type Ctx struct {
+	rank  int
+	procs int
+	m     *Machine
+	clock float64
+}
+
+// Rank returns this processor's rank in [0, Procs).
+func (c *Ctx) Rank() int { return c.rank }
+
+// Procs returns the number of processors in the machine.
+func (c *Ctx) Procs() int { return c.procs }
+
+// Config returns the machine configuration.
+func (c *Ctx) Config() Config { return c.m.cfg }
+
+// Clock returns this rank's current virtual time in seconds.
+func (c *Ctx) Clock() float64 { return c.clock }
+
+// AdvanceClock adds dt seconds of local work to the virtual clock.
+func (c *Ctx) AdvanceClock(dt float64) {
+	if dt > 0 {
+		c.clock += dt
+	}
+}
+
+// Flops charges n floating-point operations to the virtual clock.
+func (c *Ctx) Flops(n int) {
+	if n > 0 {
+		c.clock += float64(n) * c.m.cfg.FlopTime
+	}
+}
+
+// Words charges n words of runtime-preprocessing memory traffic
+// (hash-table probes, index translation, buffer copies) to the clock.
+func (c *Ctx) Words(n int) {
+	if n > 0 {
+		c.clock += float64(n) * c.m.cfg.WordTime
+	}
+}
+
+// checkAborted panics with abortSignal if another rank has failed,
+// unwinding this rank so Run can return the original error.
+func (c *Ctx) checkAborted() {
+	if ab, _ := c.m.abortedErr(); ab {
+		panic(abortSignal{})
+	}
+}
+
+// Run executes body on cfg.Procs simulated processors and blocks until
+// every rank returns. If any rank panics, Run unblocks the remaining
+// ranks and returns an error describing the first panic.
+func Run(cfg Config, body func(*Ctx)) error {
+	if cfg.Procs < 1 {
+		return fmt.Errorf("machine: invalid processor count %d", cfg.Procs)
+	}
+	m := &Machine{cfg: cfg}
+	m.boxes = make([]*mailbox, cfg.Procs)
+	for i := range m.boxes {
+		m.boxes[i] = newMailbox(m)
+	}
+	m.rdv = newRendezvous(m, cfg.Procs)
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.Procs)
+	for r := 0; r < cfg.Procs; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if _, ok := p.(abortSignal); ok {
+						return // secondary unwind; original error already recorded
+					}
+					m.abort(fmt.Errorf("machine: rank %d panicked: %v", rank, p))
+				}
+			}()
+			body(&Ctx{rank: rank, procs: cfg.Procs, m: m})
+		}(r)
+	}
+	wg.Wait()
+	_, err := m.abortedErr()
+	return err
+}
+
+// MaxClock runs body like Run and additionally returns the maximum
+// final virtual clock across ranks (the simulated makespan).
+func MaxClock(cfg Config, body func(*Ctx)) (float64, error) {
+	var mu sync.Mutex
+	maxT := 0.0
+	err := Run(cfg, func(c *Ctx) {
+		body(c)
+		t := c.Clock()
+		mu.Lock()
+		if t > maxT {
+			maxT = t
+		}
+		mu.Unlock()
+	})
+	return maxT, err
+}

@@ -1,0 +1,395 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunSpawnsAllRanks(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 17} {
+		var n int64
+		if err := Run(Zero(p), func(c *Ctx) {
+			atomic.AddInt64(&n, 1)
+			if c.Procs() != p {
+				t.Errorf("Procs() = %d, want %d", c.Procs(), p)
+			}
+		}); err != nil {
+			t.Fatalf("Run(%d): %v", p, err)
+		}
+		if n != int64(p) {
+			t.Fatalf("ran %d ranks, want %d", n, p)
+		}
+	}
+}
+
+func TestRunInvalidProcs(t *testing.T) {
+	if err := Run(Zero(0), func(*Ctx) {}); err == nil {
+		t.Fatal("expected error for 0 procs")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(Zero(4), func(c *Ctx) {
+		next := (c.Rank() + 1) % c.Procs()
+		prev := (c.Rank() + c.Procs() - 1) % c.Procs()
+		c.SendInts(next, 7, []int{c.Rank(), 2 * c.Rank()})
+		got := c.RecvInts(prev, 7)
+		if len(got) != 2 || got[0] != prev || got[1] != 2*prev {
+			t.Errorf("rank %d: got %v from %d", c.Rank(), got, prev)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendIsCopied(t *testing.T) {
+	err := Run(Zero(2), func(c *Ctx) {
+		if c.Rank() == 0 {
+			xs := []int{1, 2, 3}
+			c.SendInts(1, 0, xs)
+			xs[0] = 99 // must not affect the receiver
+			c.Barrier()
+		} else {
+			got := c.RecvInts(0, 0)
+			c.Barrier()
+			if got[0] != 1 {
+				t.Errorf("send buffer mutation visible to receiver: %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderingSameSrcTag(t *testing.T) {
+	err := Run(Zero(2), func(c *Ctx) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.SendInts(1, 3, []int{i})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if got := c.RecvInts(0, 3); got[0] != i {
+					t.Errorf("message %d arrived as %d", i, got[0])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsAreIndependent(t *testing.T) {
+	err := Run(Zero(2), func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.SendInts(1, 1, []int{100})
+			c.SendInts(1, 2, []int{200})
+		} else {
+			// Receive in the opposite order of the sends.
+			if got := c.RecvInts(0, 2); got[0] != 200 {
+				t.Errorf("tag 2 got %d", got[0])
+			}
+			if got := c.RecvInts(0, 1); got[0] != 100 {
+				t.Errorf("tag 1 got %d", got[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	err := Run(Zero(4), func(c *Ctx) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		// Other ranks block forever; abort must unwedge them.
+		c.Recv(3, 99)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic message", err)
+	}
+	if !strings.Contains(err.Error(), "rank 2") {
+		t.Fatalf("err = %v, want rank attribution", err)
+	}
+}
+
+func TestPanicUnblocksCollectives(t *testing.T) {
+	err := Run(Zero(4), func(c *Ctx) {
+		if c.Rank() == 0 {
+			panic("collective abort")
+		}
+		c.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "collective abort") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	err := Run(Zero(8), func(c *Ctx) {
+		if got := c.SumInt(c.Rank()); got != 28 {
+			t.Errorf("SumInt = %d, want 28", got)
+		}
+		if got := c.MaxInt(c.Rank() * 3); got != 21 {
+			t.Errorf("MaxInt = %d, want 21", got)
+		}
+		if got := c.SumFloat(0.5); got != 4.0 {
+			t.Errorf("SumFloat = %v, want 4", got)
+		}
+		if got := c.MinFloat(float64(c.Rank()) - 2); got != -2 {
+			t.Errorf("MinFloat = %v, want -2", got)
+		}
+		if got := c.MaxFloat(float64(c.Rank())); got != 7 {
+			t.Errorf("MaxFloat = %v, want 7", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	err := Run(Zero(5), func(c *Ctx) {
+		got := c.AllGatherInt(c.Rank() * c.Rank())
+		for r, v := range got {
+			if v != r*r {
+				t.Errorf("AllGatherInt[%d] = %d", r, v)
+			}
+		}
+		// Variable-length gather: rank r contributes r copies of r.
+		xs := make([]int, c.Rank())
+		for i := range xs {
+			xs[i] = c.Rank()
+		}
+		cat := c.AllGatherInts(xs)
+		if len(cat) != 10 {
+			t.Fatalf("AllGatherInts length %d, want 10", len(cat))
+		}
+		want := []int{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}
+		for i := range cat {
+			if cat[i] != want[i] {
+				t.Errorf("AllGatherInts[%d] = %d, want %d", i, cat[i], want[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	err := Run(Zero(6), func(c *Ctx) {
+		var src []int
+		if c.Rank() == 3 {
+			src = []int{9, 8, 7}
+		}
+		got := c.BroadcastInts(3, src)
+		if len(got) != 3 || got[0] != 9 || got[2] != 7 {
+			t.Errorf("rank %d BroadcastInts = %v", c.Rank(), got)
+		}
+		var fs []float64
+		if c.Rank() == 0 {
+			fs = []float64{1.5}
+		}
+		gf := c.BroadcastFloats(0, fs)
+		if len(gf) != 1 || gf[0] != 1.5 {
+			t.Errorf("BroadcastFloats = %v", gf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAll(t *testing.T) {
+	err := Run(Zero(4), func(c *Ctx) {
+		out := make([][]int, c.Procs())
+		for p := range out {
+			// Send p+1 values of rank*10+p to rank p.
+			for i := 0; i <= p; i++ {
+				out[p] = append(out[p], c.Rank()*10+p)
+			}
+		}
+		in := c.AlltoAllInts(out)
+		for p := range in {
+			if len(in[p]) != c.Rank()+1 {
+				t.Errorf("rank %d: from %d got %d values, want %d",
+					c.Rank(), p, len(in[p]), c.Rank()+1)
+			}
+			for _, v := range in[p] {
+				if v != p*10+c.Rank() {
+					t.Errorf("rank %d: from %d got value %d", c.Rank(), p, v)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAllFloats(t *testing.T) {
+	err := Run(Zero(3), func(c *Ctx) {
+		out := make([][]float64, c.Procs())
+		for p := range out {
+			out[p] = []float64{float64(c.Rank()) + float64(p)/10}
+		}
+		in := c.AlltoAllFloats(out)
+		for p := range in {
+			want := float64(p) + float64(c.Rank())/10
+			if math.Abs(in[p][0]-want) > 1e-12 {
+				t.Errorf("rank %d from %d: %v want %v", c.Rank(), p, in[p][0], want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualClockAdvancesOnComm(t *testing.T) {
+	cfg := IPSC860(2)
+	err := Run(cfg, func(c *Ctx) {
+		if c.Clock() != 0 {
+			t.Errorf("initial clock %v", c.Clock())
+		}
+		if c.Rank() == 0 {
+			c.SendFloats(1, 0, make([]float64, 1000))
+			if c.Clock() <= cfg.SendOverhead {
+				t.Errorf("send did not charge bytes: %v", c.Clock())
+			}
+		} else {
+			c.RecvFloats(0, 0)
+			// Receiver clock must cover wire time for 8000 bytes.
+			if c.Clock() < 8000*cfg.ByteTime {
+				t.Errorf("recv clock %v too small", c.Clock())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	err := Run(IPSC860(4), func(c *Ctx) {
+		c.AdvanceClock(float64(c.Rank())) // rank r at time r
+		c.Barrier()
+		if c.Clock() < 3 {
+			t.Errorf("rank %d clock %v after barrier, want >= 3", c.Rank(), c.Clock())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopsAndWordsCharges(t *testing.T) {
+	cfg := IPSC860(1)
+	err := Run(cfg, func(c *Ctx) {
+		c.Flops(1000)
+		want := 1000 * cfg.FlopTime
+		if math.Abs(c.Clock()-want) > 1e-15 {
+			t.Errorf("Flops charge %v, want %v", c.Clock(), want)
+		}
+		c.Words(500)
+		want += 500 * cfg.WordTime
+		if math.Abs(c.Clock()-want) > 1e-15 {
+			t.Errorf("Words charge %v, want %v", c.Clock(), want)
+		}
+		c.Flops(-5) // no-op
+		c.Words(0)  // no-op
+		if math.Abs(c.Clock()-want) > 1e-15 {
+			t.Errorf("negative/zero charges changed clock")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHops(t *testing.T) {
+	hc := Config{Procs: 8, Topology: Hypercube}
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 7, 3}, {5, 6, 2}, {3, 4, 3},
+	}
+	for _, tc := range cases {
+		if got := hc.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("hypercube Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	ring := Config{Procs: 8, Topology: Ring}
+	ringCases := []struct{ a, b, want int }{
+		{0, 1, 1}, {0, 7, 1}, {0, 4, 4}, {1, 6, 3},
+	}
+	for _, tc := range ringCases {
+		if got := ring.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("ring Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	fc := Config{Procs: 8, Topology: FullyConnected}
+	if got := fc.Hops(0, 5); got != 1 {
+		t.Errorf("fully-connected Hops = %d", got)
+	}
+}
+
+func TestLogceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6}
+	for p, want := range cases {
+		if got := logceil(p); got != want {
+			t.Errorf("logceil(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if FullyConnected.String() != "fully-connected" ||
+		Hypercube.String() != "hypercube" ||
+		Ring.String() != "ring" {
+		t.Error("Topology.String mismatch")
+	}
+	if Topology(42).String() == "" {
+		t.Error("unknown topology should still format")
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	got, err := MaxClock(Zero(4), func(c *Ctx) {
+		c.AdvanceClock(float64(c.Rank()) * 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("MaxClock = %v, want 6", got)
+	}
+}
+
+func TestDeterministicClocks(t *testing.T) {
+	run := func() float64 {
+		t1, err := MaxClock(IPSC860(8), func(c *Ctx) {
+			out := make([][]float64, c.Procs())
+			for p := range out {
+				out[p] = make([]float64, (c.Rank()+1)*(p+1))
+			}
+			c.AlltoAllFloats(out)
+			c.SumFloat(float64(c.Rank()))
+			c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t1
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("virtual time not deterministic: %v vs %v", a, b)
+	}
+}

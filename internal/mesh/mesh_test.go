@@ -1,0 +1,132 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateSizes(t *testing.T) {
+	m := Generate(1000, 1)
+	if m.NNode != 1000 {
+		t.Errorf("NNode = %d, want 1000", m.NNode)
+	}
+	if m.NEdge() == 0 {
+		t.Fatal("no edges")
+	}
+	// Tetrahedral-ish connectivity: average degree between 8 and 12
+	// (boundary effects lower it below the interior value of 12).
+	if d := m.AvgDegree(); d < 7 || d > 12 {
+		t.Errorf("AvgDegree = %v", d)
+	}
+}
+
+func TestEdgesValid(t *testing.T) {
+	m := Generate(512, 2)
+	for i := range m.E1 {
+		if m.E1[i] < 0 || m.E1[i] >= m.NNode || m.E2[i] < 0 || m.E2[i] >= m.NNode {
+			t.Fatalf("edge %d endpoints (%d,%d) out of range", i, m.E1[i], m.E2[i])
+		}
+		if m.E1[i] == m.E2[i] {
+			t.Fatalf("self-loop at edge %d", i)
+		}
+	}
+}
+
+func TestEdgesAreGeometricallyLocal(t *testing.T) {
+	// Connected vertices must be close in space even after the random
+	// renumbering (that's the whole point of the fixture). On the
+	// curved shell the outermost arc spacing stretches edges up to
+	// about 1 + pi times the unit lattice step.
+	m := Generate(729, 3)
+	domain := 2 * (float64(9)/math.Pi + 9) // shell diameter for a 9^3 lattice
+	for i := range m.E1 {
+		a, b := m.E1[i], m.E2[i]
+		dx := m.X[a] - m.X[b]
+		dy := m.Y[a] - m.Y[b]
+		dz := m.Z[a] - m.Z[b]
+		d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if d > 7.5 {
+			t.Fatalf("edge %d spans distance %v", i, d)
+		}
+		if d > domain/3 {
+			t.Fatalf("edge %d spans a third of the domain (%v of %v)", i, d, domain)
+		}
+	}
+}
+
+func TestRenumberingScattersIndices(t *testing.T) {
+	// A BLOCK split of vertex ids must cut most edges: adjacent ids
+	// should rarely be mesh neighbors.
+	m := Generate(1728, 4)
+	half := m.NNode / 2
+	cut := 0
+	for i := range m.E1 {
+		if (m.E1[i] < half) != (m.E2[i] < half) {
+			cut++
+		}
+	}
+	frac := float64(cut) / float64(m.NEdge())
+	if frac < 0.3 {
+		t.Errorf("block split cuts only %.2f of edges; renumbering too tame", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(343, 9)
+	b := Generate(343, 9)
+	if a.NEdge() != b.NEdge() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.E1 {
+		if a.E1[i] != b.E1[i] || a.E2[i] != b.E2[i] {
+			t.Fatal("edge lists differ")
+		}
+	}
+	c := Generate(343, 10)
+	same := true
+	for i := range a.E1 {
+		if a.E1[i] != c.E1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical meshes")
+	}
+}
+
+func TestEulerFlux(t *testing.T) {
+	in := []float64{1, 3}
+	out := make([]float64, 2)
+	EulerFlux(0, in, out)
+	// avg = 2, diff = 2: f = 4+1 = 5, g = 4-1 = 3.
+	if out[0] != 5 || out[1] != 3 {
+		t.Errorf("EulerFlux = %v", out)
+	}
+}
+
+func TestInitialStateBounded(t *testing.T) {
+	m := Generate(216, 5)
+	for v := 0; v < m.NNode; v++ {
+		s := m.InitialState(v)
+		if s < 0.8 || s > 1.2 {
+			t.Fatalf("InitialState(%d) = %v", v, s)
+		}
+	}
+}
+
+func TestGenerateLatticeDims(t *testing.T) {
+	m := GenerateLattice(3, 4, 5, 1)
+	if m.NNode != 60 {
+		t.Errorf("NNode = %d, want 60", m.NNode)
+	}
+}
+
+func TestGeneratePanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(2, 1)
+}

@@ -1,0 +1,245 @@
+package partition
+
+import (
+	"math"
+
+	"chaos/internal/xrand"
+)
+
+// subgraph is a compact CSR view of an induced subgraph used by the
+// serial spectral machinery. Vertex i of the subgraph corresponds to
+// orig[i] in the parent graph.
+type subgraph struct {
+	n    int
+	xadj []int
+	adj  []int // subgraph-local neighbor ids
+	w    []float64
+	orig []int
+	// flops accumulates the floating-point work performed on this
+	// subgraph so the caller can charge the virtual clock.
+	flops int64
+}
+
+// laplacianMatVec computes y = L x where L = D - A is the combinatorial
+// Laplacian of the subgraph.
+func (sg *subgraph) laplacianMatVec(x, y []float64) {
+	for i := 0; i < sg.n; i++ {
+		deg := float64(sg.xadj[i+1] - sg.xadj[i])
+		s := deg * x[i]
+		for _, j := range sg.adj[sg.xadj[i]:sg.xadj[i+1]] {
+			s -= x[j]
+		}
+		y[i] = s
+	}
+	sg.flops += int64(2*len(sg.adj) + 2*sg.n)
+}
+
+// fiedler approximates the Fiedler vector (eigenvector of the second
+// smallest Laplacian eigenvalue) with a Lanczos iteration that is kept
+// orthogonal to the constant vector and fully reorthogonalized, then
+// solves the small tridiagonal eigenproblem with an implicit-shift QL
+// sweep. Deterministic: the start vector comes from a seeded stream.
+func (sg *subgraph) fiedler(seed uint64) []float64 {
+	n := sg.n
+	if n <= 2 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i)
+		}
+		return out
+	}
+	// Krylov depth grows with subgraph size; larger meshes need more
+	// steps for the Fiedler pair to settle.
+	m := 30
+	if n > 1000 {
+		m = 60
+	}
+	if m > n-1 {
+		m = n - 1
+	}
+	rng := xrand.New(seed)
+
+	basis := make([][]float64, 0, m)
+	alpha := make([]float64, 0, m)
+	beta := make([]float64, 0, m) // beta[k] links basis[k] and basis[k+1]
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() - 0.5
+	}
+	projectOutConstant(v)
+	normalize(v)
+
+	work := make([]float64, n)
+	for k := 0; k < m; k++ {
+		basis = append(basis, append([]float64(nil), v...))
+		sg.laplacianMatVec(v, work)
+		a := dot(work, v)
+		alpha = append(alpha, a)
+		// w = L v - a v - b v_{k-1}
+		for i := range work {
+			work[i] -= a * v[i]
+		}
+		if k > 0 {
+			b := beta[k-1]
+			prev := basis[k-1]
+			for i := range work {
+				work[i] -= b * prev[i]
+			}
+		}
+		// Full reorthogonalization (constant vector + all basis).
+		projectOutConstant(work)
+		for _, u := range basis {
+			d := dot(work, u)
+			for i := range work {
+				work[i] -= d * u[i]
+			}
+		}
+		sg.flops += int64((len(basis) + 3) * 2 * n)
+		b := math.Sqrt(dot(work, work))
+		if b < 1e-12 {
+			break // invariant subspace found
+		}
+		if k < m-1 {
+			beta = append(beta, b)
+			for i := range v {
+				v[i] = work[i] / b
+			}
+		}
+	}
+
+	k := len(alpha)
+	d := append([]float64(nil), alpha...)
+	e := make([]float64, k)
+	copy(e[1:], beta[:k-1])
+	z := identity(k)
+	tql2(d, e, z)
+	sg.flops += int64(k * k * 30)
+
+	// Smallest Ritz value (the constant direction was projected out,
+	// so this approximates the Fiedler pair).
+	best := 0
+	for i := 1; i < k; i++ {
+		if d[i] < d[best] {
+			best = i
+		}
+	}
+	out := make([]float64, n)
+	for j := 0; j < k; j++ {
+		c := z[j][best]
+		if c == 0 {
+			continue
+		}
+		u := basis[j]
+		for i := 0; i < n; i++ {
+			out[i] += c * u[i]
+		}
+	}
+	sg.flops += int64(2 * k * n)
+	return out
+}
+
+func projectOutConstant(v []float64) {
+	mean := 0.0
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for i := range v {
+		v[i] -= mean
+	}
+}
+
+func normalize(v []float64) {
+	nrm := math.Sqrt(dot(v, v))
+	if nrm == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= nrm
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func identity(n int) [][]float64 {
+	z := make([][]float64, n)
+	for i := range z {
+		z[i] = make([]float64, n)
+		z[i][i] = 1
+	}
+	return z
+}
+
+// tql2 diagonalizes a symmetric tridiagonal matrix with diagonal d and
+// subdiagonal e (e[0] unused) using the implicit QL method with shifts
+// (EISPACK TQL2). On return d holds eigenvalues and column j of z the
+// corresponding eigenvector. Panics only if the iteration fails to
+// converge, which for the small matrices used here does not occur.
+func tql2(d, e []float64, z [][]float64) {
+	n := len(d)
+	if n == 0 {
+		return
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= 50 {
+				panic("partition: tql2 failed to converge")
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f := z[k][i+1]
+					z[k][i+1] = s*z[k][i] + c*f
+					z[k][i] = c*z[k][i] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+}

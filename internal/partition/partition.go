@@ -1,0 +1,199 @@
+// Package partition provides the library of data partitioners the
+// paper's SET ... BY PARTITIONING ... USING directive selects from
+// (Section 4.2: "The user will be provided a library of commonly
+// available partitioners"), plus a registry so user code can link a
+// customized partitioner as long as the calling sequence matches.
+//
+// Every partitioner consumes a GeoCoL data structure and produces a map
+// array: for each vertex, the part (target processor) in [0, nparts).
+// Partitioners are collective: each rank passes its home-resident slice
+// of the GeoCoL graph and receives the part assignment for exactly
+// those vertices.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"chaos/internal/dist"
+	"chaos/internal/geocol"
+	"chaos/internal/machine"
+	"chaos/internal/xrand"
+)
+
+// Partitioner maps GeoCoL vertices to parts. Partition returns the
+// part of each home-resident vertex of g, aligned with g's home
+// distribution. Implementations must be deterministic and collective.
+type Partitioner interface {
+	Name() string
+	Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Partitioner{}
+)
+
+// Register adds a partitioner under its Name; it replaces any previous
+// entry, which is how a user links a customized partitioner.
+func Register(p Partitioner) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[p.Name()] = p
+}
+
+// Lookup finds a partitioner by name (case-sensitive, conventionally
+// upper-case, e.g. "RSB", "RCB", "BLOCK").
+func Lookup(name string) (Partitioner, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown partitioner %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names returns the registered partitioner names, sorted.
+func Names() []string {
+	// Callers may hold regMu via Lookup; gather without locking twice.
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(BlockPartitioner{})
+	Register(RandomPartitioner{Seed: 12345})
+	Register(RCB{})
+	Register(Inertial{})
+	Register(RSB{})
+	Register(RSB{Refine: true})
+	Register(KL{})
+}
+
+// checkArgs validates common preconditions.
+func checkArgs(g *geocol.Graph, nparts int) {
+	if nparts < 1 {
+		panic(fmt.Sprintf("partition: nparts = %d", nparts))
+	}
+	if g.N == 0 {
+		return
+	}
+}
+
+// BlockPartitioner assigns contiguous index ranges to parts — the
+// naive HPF BLOCK mapping used as the paper's baseline (Table 4).
+type BlockPartitioner struct{}
+
+func (BlockPartitioner) Name() string { return "BLOCK" }
+
+func (BlockPartitioner) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
+	checkArgs(g, nparts)
+	b := dist.NewBlock(g.N, nparts)
+	localN := g.LocalN(c.Rank())
+	lo := g.Home.Lo(c.Rank())
+	part := make([]int, localN)
+	for l := range part {
+		part[l] = b.Owner(lo + l)
+	}
+	c.Words(localN)
+	return part
+}
+
+// RandomPartitioner scatters vertices pseudo-randomly; the worst
+// reasonable baseline for communication volume.
+type RandomPartitioner struct {
+	Seed uint64
+}
+
+func (RandomPartitioner) Name() string { return "RANDOM" }
+
+func (rp RandomPartitioner) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
+	checkArgs(g, nparts)
+	localN := g.LocalN(c.Rank())
+	lo := g.Home.Lo(c.Rank())
+	part := make([]int, localN)
+	for l := range part {
+		part[l] = int(xrand.Hash64(uint64(lo+l)^rp.Seed) % uint64(nparts))
+	}
+	c.Words(localN)
+	return part
+}
+
+// splitTask describes one node of the recursive bisection tree: the
+// set of local vertices (home-local indices) still to be divided among
+// parts [partLo, partLo+nparts).
+type splitTask struct {
+	verts  []int
+	partLo int
+	nparts int
+}
+
+// weightedKeySplit divides verts into (left, right) so that the total
+// vertex weight of left approximates frac of the group weight, using a
+// distributed binary search on the key values. Ties are broken
+// deterministically by perturbing each key with a vertex-unique epsilon
+// too small to disturb geometry. Collective.
+func weightedKeySplit(c *machine.Ctx, g *geocol.Graph, verts []int, key []float64, frac float64) (left, right []int) {
+	lo := g.Home.Lo(c.Rank())
+	// Perturb keys for deterministic tie-breaking.
+	kmin, kmax := 1e308, -1e308
+	for _, v := range verts {
+		if key[v] < kmin {
+			kmin = key[v]
+		}
+		if key[v] > kmax {
+			kmax = key[v]
+		}
+	}
+	kmin = c.MinFloat(kmin)
+	kmax = c.MaxFloat(kmax)
+	span := kmax - kmin
+	if span <= 0 {
+		span = 1
+	}
+	eps := span * 1e-12 / float64(g.N+1)
+	pkey := make(map[int]float64, len(verts))
+	wsum := 0.0
+	for _, v := range verts {
+		pkey[v] = key[v] + eps*float64(lo+v)
+		wsum += g.Weight(v)
+	}
+	totalW := c.SumFloat(wsum)
+	target := totalW * frac
+
+	a, b := kmin-2*eps*float64(g.N+1), kmax+2*eps*float64(g.N+1)
+	for it := 0; it < 64; it++ {
+		mid := (a + b) / 2
+		wl := 0.0
+		for _, v := range verts {
+			if pkey[v] <= mid {
+				wl += g.Weight(v)
+			}
+		}
+		wl = c.SumFloat(wl)
+		if wl < target {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	cut := b
+	for _, v := range verts {
+		if pkey[v] <= cut {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	c.Words(3 * len(verts))
+	return left, right
+}
+
+// halves returns the left part count for splitting nparts.
+func halves(nparts int) int { return nparts / 2 }

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"testing"
+
+	"chaos/internal/geocol"
+	"chaos/internal/machine"
+	"chaos/internal/mesh"
+)
+
+// meshCuts partitions the standard shell mesh with the named method and
+// returns the edge cut.
+func meshCuts(t *testing.T, m *mesh.Mesh, name string, p int) int {
+	t.Helper()
+	pt, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cut int
+	err = machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		home := geocol.Build(c, m.NNode).Home
+		lo, hi := home.Lo(c.Rank()), home.Hi(c.Rank())
+		eb := m.NEdge() / p
+		elo, ehi := c.Rank()*eb, (c.Rank()+1)*eb
+		if c.Rank() == p-1 {
+			ehi = m.NEdge()
+		}
+		xs := make([]float64, hi-lo)
+		ys := make([]float64, hi-lo)
+		zs := make([]float64, hi-lo)
+		for l := range xs {
+			xs[l], ys[l], zs[l] = m.X[lo+l], m.Y[lo+l], m.Z[lo+l]
+		}
+		g := geocol.Build(c, m.NNode,
+			geocol.WithLink(m.E1[elo:ehi], m.E2[elo:ehi]),
+			geocol.WithGeometry(xs, ys, zs))
+		part := c.AllGatherInts(pt.Partition(c, g, p))
+		f := g.Gather(c)
+		if c.Rank() == 0 {
+			cut = CutEdges(f.XAdj, f.Adj, part)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cut
+}
+
+// TestMeshCutQualityOrdering pins the paper's Table 2 partition-quality
+// relationships on the curved-shell mesh: spectral bisection cuts fewer
+// edges than coordinate bisection, and both beat BLOCK by a wide
+// margin.
+func TestMeshCutQualityOrdering(t *testing.T) {
+	m := mesh.Generate(4000, 7)
+	const p = 8
+	rcb := meshCuts(t, m, "RCB", p)
+	rsb := meshCuts(t, m, "RSB", p)
+	rsbkl := meshCuts(t, m, "RSB-KL", p)
+	blk := meshCuts(t, m, "BLOCK", p)
+	if rsb >= rcb {
+		t.Errorf("RSB cut %d not better than RCB cut %d on curved mesh", rsb, rcb)
+	}
+	if rsbkl > rsb {
+		t.Errorf("KL refinement worsened RSB cut: %d -> %d", rsb, rsbkl)
+	}
+	if blk < 2*rcb {
+		t.Errorf("BLOCK cut %d should dwarf RCB cut %d on a renumbered mesh", blk, rcb)
+	}
+}
+
+// TestKLPartitioner checks the standalone Kernighan-Lin partitioner:
+// balanced parts, far better than BLOCK on the renumbered mesh, and
+// consistent across ranks.
+func TestKLPartitioner(t *testing.T) {
+	m := mesh.Generate(2000, 5)
+	const p = 4
+	kl := meshCuts(t, m, "KL", p)
+	blk := meshCuts(t, m, "BLOCK", p)
+	if kl*3 > blk {
+		t.Errorf("KL cut %d not clearly better than BLOCK cut %d", kl, blk)
+	}
+}
+
+func TestKLBalance(t *testing.T) {
+	m := mesh.Generate(1000, 6)
+	const p = 4
+	pt, err := Lookup("KL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		home := geocol.Build(c, m.NNode).Home
+		eb := m.NEdge() / p
+		elo, ehi := c.Rank()*eb, (c.Rank()+1)*eb
+		if c.Rank() == p-1 {
+			ehi = m.NEdge()
+		}
+		g := geocol.Build(c, m.NNode, geocol.WithLink(m.E1[elo:ehi], m.E2[elo:ehi]))
+		part := c.AllGatherInts(pt.Partition(c, g, p))
+		if c.Rank() == 0 {
+			counts := make([]int, p)
+			for _, x := range part {
+				counts[x]++
+			}
+			ideal := m.NNode / p
+			for r, n := range counts {
+				if n < ideal*9/10 || n > ideal*11/10 {
+					t.Errorf("part %d holds %d vertices, ideal %d", r, n, ideal)
+				}
+			}
+		}
+		_ = home
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLRequiresLink(t *testing.T) {
+	err := machine.Run(machine.Zero(2), func(c *machine.Ctx) {
+		g := geocol.Build(c, 16)
+		KL{}.Partition(c, g, 2)
+	})
+	if err == nil {
+		t.Fatal("KL without LINK should fail")
+	}
+}

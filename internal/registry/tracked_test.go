@@ -1,0 +1,113 @@
+package registry
+
+import (
+	"testing"
+
+	"chaos/internal/dist"
+)
+
+func TestTrackedSkipsUntrackedWrites(t *testing.T) {
+	r := NewTracked()
+	if !r.Tracking() {
+		t.Fatal("NewTracked not tracking")
+	}
+	a := dist.NewDADAllocator()
+	x := a.New(dist.Block, 100) // data array, never an indirection
+	ia := a.New(dist.Block, 50)
+	r.Track(ia)
+
+	var rec LoopRecord
+	r.Record(&rec, []dist.DAD{x}, []dist.DAD{ia})
+	// Writing the untracked data array must not disturb reuse.
+	r.NoteWrite(x)
+	r.NoteWrite(x)
+	if !r.Check(&rec, []dist.DAD{x}, []dist.DAD{ia}) {
+		t.Fatal("untracked data write broke reuse")
+	}
+	// nmod still counts all blocks.
+	if r.Nmod() != 2 {
+		t.Fatalf("nmod = %d, want 2", r.Nmod())
+	}
+	// lastmod for the untracked descriptor stays empty.
+	if r.LastMod(x) != 0 {
+		t.Fatalf("untracked lastmod = %d", r.LastMod(x))
+	}
+}
+
+func TestTrackedStillCatchesIndirectionWrites(t *testing.T) {
+	r := NewTracked()
+	a := dist.NewDADAllocator()
+	x := a.New(dist.Block, 100)
+	ia := a.New(dist.Block, 50)
+	r.Track(ia)
+	var rec LoopRecord
+	r.Record(&rec, []dist.DAD{x}, []dist.DAD{ia})
+	r.NoteWrite(ia)
+	if r.Check(&rec, []dist.DAD{x}, []dist.DAD{ia}) {
+		t.Fatal("tracked indirection write missed")
+	}
+}
+
+func TestLateTrackIsConservative(t *testing.T) {
+	r := NewTracked()
+	a := dist.NewDADAllocator()
+	ia := a.New(dist.Block, 50)
+	// A write happens before anyone tracks ia.
+	r.NoteWrite(ia)
+	// Late registration must pin lastmod to "now", so a record taken
+	// before the Track (which could only have stamp 0) misses.
+	var rec LoopRecord
+	rec.valid = true
+	rec.indDADs = []dist.DAD{ia}
+	rec.indStamps = []int{0}
+	r.Track(ia)
+	if r.Check(&rec, nil, []dist.DAD{ia}) {
+		t.Fatal("stale pre-Track record reused")
+	}
+	// A record taken after Track is good until the next write.
+	var rec2 LoopRecord
+	r.Record(&rec2, nil, []dist.DAD{ia})
+	if !r.Check(&rec2, nil, []dist.DAD{ia}) {
+		t.Fatal("post-Track record should reuse")
+	}
+	r.NoteWrite(ia)
+	if r.Check(&rec2, nil, []dist.DAD{ia}) {
+		t.Fatal("write after Track missed")
+	}
+}
+
+func TestTrackNoOpOnDefaultRegistry(t *testing.T) {
+	r := New()
+	if r.Tracking() {
+		t.Fatal("default registry claims tracking")
+	}
+	a := dist.NewDADAllocator()
+	x := a.New(dist.Block, 10)
+	r.Track(x) // must be a harmless no-op
+	r.NoteWrite(x)
+	if r.LastMod(x) != 1 {
+		t.Fatal("default registry dropped a write after Track")
+	}
+}
+
+func TestTrackedRemapSemantics(t *testing.T) {
+	r := NewTracked()
+	a := dist.NewDADAllocator()
+	ia := a.New(dist.Block, 50)
+	r.Track(ia)
+	var rec LoopRecord
+	r.Record(&rec, nil, []dist.DAD{ia})
+	// Remap mints a fresh DAD; the record must miss on condition 2
+	// even though the new DAD is not yet tracked.
+	ia2 := a.New(dist.Irregular, 50)
+	r.NoteRemap(ia2)
+	if r.Check(&rec, nil, []dist.DAD{ia2}) {
+		t.Fatal("remap missed under tracked registry")
+	}
+	// Re-inspection tracks and records the new DAD.
+	r.Track(ia2)
+	r.Record(&rec, nil, []dist.DAD{ia2})
+	if !r.Check(&rec, nil, []dist.DAD{ia2}) {
+		t.Fatal("fresh record should reuse")
+	}
+}

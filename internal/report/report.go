@@ -1,0 +1,137 @@
+// Package report formats experiment results as aligned text tables in
+// the style of the paper's Tables 1-4.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of float cells with row and column labels.
+type Table struct {
+	Title string
+	Unit  string // printed under the title, e.g. "virtual seconds"
+	Cols  []string
+	Rows  []string
+	// Cells[r][c]; NaN prints as "-".
+	Cells [][]float64
+}
+
+// New creates a table with the given shape, cells initialized to 0.
+func New(title, unit string, cols, rows []string) *Table {
+	t := &Table{Title: title, Unit: unit, Cols: cols, Rows: rows}
+	t.Cells = make([][]float64, len(rows))
+	for i := range t.Cells {
+		t.Cells[i] = make([]float64, len(cols))
+	}
+	return t
+}
+
+// Set stores a cell value by labels; it panics on unknown labels so
+// harness typos fail loudly.
+func (t *Table) Set(row, col string, v float64) {
+	r, c := index(t.Rows, row), index(t.Cols, col)
+	t.Cells[r][c] = v
+}
+
+func index(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("report: unknown label %q (have %v)", want, xs))
+}
+
+// fmtCell renders one value with the precision the paper uses: one
+// decimal place for values >= 10, two below.
+func fmtCell(v float64) string {
+	if v != v { // NaN
+		return "-"
+	}
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if v >= 10 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	rowHdr := ""
+	widths := make([]int, len(t.Cols)+1)
+	for _, r := range t.Rows {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i := range t.Rows {
+		cells[i] = make([]string, len(t.Cols))
+		for j := range t.Cols {
+			cells[i][j] = fmtCell(t.Cells[i][j])
+		}
+	}
+	for j, c := range t.Cols {
+		w := len(c)
+		for i := range t.Rows {
+			if len(cells[i][j]) > w {
+				w = len(cells[i][j])
+			}
+		}
+		widths[j+1] = w
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", t.Unit)
+	}
+	b.WriteByte('\n')
+	total := widths[0]
+	for _, w := range widths[1:] {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-*s", widths[0], rowHdr)
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, "  %*s", widths[j+1], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s**", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " _(%s)_", t.Unit)
+	}
+	b.WriteString("\n\n| |")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Cols {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, " %s |", fmtCell(t.Cells[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

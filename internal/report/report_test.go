@@ -1,0 +1,58 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Sample", "seconds", []string{"A", "B"}, []string{"row1", "row2"})
+	t.Set("row1", "A", 123.456)
+	t.Set("row1", "B", 17.62)
+	t.Set("row2", "A", 3.14159)
+	t.Set("row2", "B", math.NaN())
+	return t
+}
+
+func TestStringFormatting(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"Sample (seconds)", "row1", "row2", "123", "17.6", "3.14", "-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, rule, header, 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), s)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	for _, want := range []string{"**Sample**", "| A |", "| row1 |", "|---|"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestSetUnknownLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sample().Set("nope", "A", 1)
+}
+
+func TestFmtCellPrecision(t *testing.T) {
+	cases := map[float64]string{
+		250.7: "251", 99.94: "99.9", 10.0: "10.0", 9.876: "9.88", 0.05: "0.05",
+	}
+	for v, want := range cases {
+		if got := fmtCell(v); got != want {
+			t.Errorf("fmtCell(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

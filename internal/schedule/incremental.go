@@ -1,0 +1,60 @@
+package schedule
+
+import (
+	"chaos/internal/machine"
+	"chaos/internal/ttable"
+)
+
+// BuildIncremental builds an *incremental* communication schedule — a
+// CHAOS capability used by adaptive codes: given a base schedule whose
+// ghost area already mirrors some off-processor elements, it fetches
+// only the references in globals that the base does not cover.
+//
+// The returned reference vector addresses the combined buffer
+// [ local | base ghosts | incremental ghosts ]: ref[i] < myLocalSize is
+// a local element; myLocalSize <= ref[i] < myLocalSize+base.NGhost() is
+// a base ghost slot; anything above is a slot of the new schedule
+// (offset by myLocalSize+base.NGhost()).
+//
+// A Gather on the incremental schedule moves only the new elements, so
+// a loop whose reference set grew slightly (an adapted mesh, an updated
+// pair list) pays communication proportional to the change, while the
+// base schedule keeps serving the old references. Collective.
+func BuildIncremental(c *machine.Ctx, res ttable.Resolver, myLocalSize int, base *Schedule, globals []int, opt Options) (*Schedule, []int) {
+	me := c.Rank()
+	owners, locals := res.Resolve(c, globals)
+
+	baseSlot := make(map[int]int, base.nGhost)
+	for slot, g := range base.ghostGlobal {
+		if _, ok := baseSlot[g]; !ok {
+			baseSlot[g] = slot
+		}
+	}
+
+	ref := make([]int, len(globals))
+	var newIdx []int
+	for i := range globals {
+		switch slot, covered := baseSlot[globals[i]]; {
+		case owners[i] == me:
+			ref[i] = locals[i]
+		case covered:
+			ref[i] = myLocalSize + slot
+		default:
+			newIdx = append(newIdx, i)
+		}
+	}
+	c.Words(2 * len(globals))
+
+	// Build a fresh schedule over only the uncovered references. This
+	// is collective even when a rank has nothing new (empty list).
+	newGlobals := make([]int, len(newIdx))
+	for k, i := range newIdx {
+		newGlobals[k] = globals[i]
+	}
+	inc, incRef := BuildGather(c, res, myLocalSize, newGlobals, opt)
+	offset := base.nGhost
+	for k, i := range newIdx {
+		ref[i] = incRef[k] + offset // all uncovered refs are off-processor
+	}
+	return inc, ref
+}

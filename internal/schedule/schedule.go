@@ -1,0 +1,324 @@
+// Package schedule implements CHAOS/PARTI communication schedules: the
+// output of the paper's Phase D inspector. Given the set of global
+// indices an executor loop will reference, BuildGather translates them
+// to (owner, local) pairs through a Resolver, deduplicates off-processor
+// references, assigns each unique off-processor element a slot in a
+// local ghost ("buffer") area, and exchanges request lists so every
+// rank knows which of its elements to ship where. The resulting
+// Schedule drives the executor-phase Gather, Scatter and ScatterAdd
+// data movements.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"chaos/internal/machine"
+	"chaos/internal/ttable"
+)
+
+// Schedule is one rank's half of a communication pattern between the
+// owners of a distributed array and the consumers of copies of its
+// elements. It is symmetric: Gather moves owner→consumer, ScatterAdd
+// moves consumer→owner.
+type Schedule struct {
+	procs int
+	// sendLocal[p] lists local indices of elements this rank owns
+	// that rank p holds ghost copies of.
+	sendLocal [][]int
+	// recvGhost[p] lists the ghost slots on this rank filled by
+	// values owned by rank p, in the order rank p sends them.
+	recvGhost [][]int
+	// nGhost is the size of the ghost buffer.
+	nGhost int
+	// ghostGlobal[slot] is the global index a ghost slot mirrors;
+	// used by incremental schedule building and diagnostics.
+	ghostGlobal []int
+}
+
+// GhostGlobals returns the global index mirrored by each ghost slot
+// (do not mutate).
+func (s *Schedule) GhostGlobals() []int { return s.ghostGlobal }
+
+// Options controls inspector behaviour.
+type Options struct {
+	// NoDedup disables duplicate-reference elimination: every
+	// off-processor reference gets its own ghost slot and is
+	// re-fetched on every Gather. Exists for the ablation bench; the
+	// paper's inspector always deduplicates.
+	NoDedup bool
+}
+
+// NGhost returns the number of ghost (off-processor copy) slots the
+// schedule requires. Executors index ghost buffers of exactly this
+// length.
+func (s *Schedule) NGhost() int { return s.nGhost }
+
+// SendCount returns the total number of owned elements this rank ships
+// per Gather.
+func (s *Schedule) SendCount() int {
+	n := 0
+	for _, l := range s.sendLocal {
+		n += len(l)
+	}
+	return n
+}
+
+// RecvCount returns the total number of ghost values this rank receives
+// per Gather (equal to NGhost for deduplicated schedules).
+func (s *Schedule) RecvCount() int {
+	n := 0
+	for _, l := range s.recvGhost {
+		n += len(l)
+	}
+	return n
+}
+
+// Messages returns the number of distinct peers this rank exchanges
+// data with per Gather (send side, recv side).
+func (s *Schedule) Messages() (nsend, nrecv int) {
+	for p, l := range s.sendLocal {
+		if p != -1 && len(l) > 0 {
+			nsend++
+		}
+	}
+	for _, l := range s.recvGhost {
+		if len(l) > 0 {
+			nrecv++
+		}
+	}
+	return
+}
+
+// BuildGather runs the inspector for one data array. res resolves the
+// array's global index space; myLocalSize is the length of the calling
+// rank's local section; globals lists every global index the local
+// iterations reference (duplicates allowed, order preserved).
+//
+// It returns the communication schedule and a reference vector ref with
+// len(ref) == len(globals): ref[i] < myLocalSize means globals[i] is
+// locally owned at that local index; otherwise globals[i] is an
+// off-processor element available in ghost slot ref[i]-myLocalSize
+// after a Gather. This is the paper's "information that associates
+// off-processor data copies with on-processor buffer locations".
+//
+// Collective: all ranks must call BuildGather together.
+func BuildGather(c *machine.Ctx, res ttable.Resolver, myLocalSize int, globals []int, opt Options) (*Schedule, []int) {
+	p := c.Procs()
+	me := c.Rank()
+	owners, locals := res.Resolve(c, globals)
+
+	ref := make([]int, len(globals))
+
+	// Deduplicate off-processor references. Hash cost charged per
+	// reference; slot order is (owner, global) sorted for
+	// determinism and contiguous per-peer receive buffers.
+	type remote struct{ owner, global, local int }
+	var uniq []remote
+	slotOf := make(map[int]int) // global -> ghost slot
+	if opt.NoDedup {
+		for i := range globals {
+			if owners[i] == me {
+				continue
+			}
+			uniq = append(uniq, remote{owners[i], globals[i], locals[i]})
+		}
+	} else {
+		seen := make(map[int]bool, len(globals))
+		for i := range globals {
+			if owners[i] == me {
+				continue
+			}
+			if !seen[globals[i]] {
+				seen[globals[i]] = true
+				uniq = append(uniq, remote{owners[i], globals[i], locals[i]})
+			}
+		}
+	}
+	c.Words(2 * len(globals)) // hash probes + owner tests
+	sort.Slice(uniq, func(a, b int) bool {
+		if uniq[a].owner != uniq[b].owner {
+			return uniq[a].owner < uniq[b].owner
+		}
+		if uniq[a].global != uniq[b].global {
+			return uniq[a].global < uniq[b].global
+		}
+		return false
+	})
+	c.Words(2 * len(uniq)) // sort traffic (approximate)
+
+	s := &Schedule{procs: p}
+	s.sendLocal = make([][]int, p)
+	s.recvGhost = make([][]int, p)
+	s.nGhost = len(uniq)
+	s.ghostGlobal = make([]int, 0, len(uniq))
+
+	// Assign ghost slots and build per-owner request lists (the
+	// owner's local indices we need).
+	requests := make([][]int, p)
+	if opt.NoDedup {
+		// Slots in reference order; slotOf not usable (duplicates).
+		slot := 0
+		for i := range globals {
+			if owners[i] == me {
+				ref[i] = locals[i]
+			} else {
+				ref[i] = myLocalSize + slot
+				slot++
+			}
+		}
+		// uniq is sorted; rebuild per-slot lists in sorted order and
+		// map slots back. Simpler: iterate references again in order.
+		requests = make([][]int, p)
+		s.recvGhost = make([][]int, p)
+		slot = 0
+		for i := range globals {
+			if owners[i] == me {
+				continue
+			}
+			requests[owners[i]] = append(requests[owners[i]], locals[i])
+			s.recvGhost[owners[i]] = append(s.recvGhost[owners[i]], slot)
+			s.ghostGlobal = append(s.ghostGlobal, globals[i])
+			slot++
+		}
+	} else {
+		s.ghostGlobal = s.ghostGlobal[:0]
+		for slot, r := range uniq {
+			slotOf[r.global] = slot
+			requests[r.owner] = append(requests[r.owner], r.local)
+			s.recvGhost[r.owner] = append(s.recvGhost[r.owner], slot)
+			s.ghostGlobal = append(s.ghostGlobal, r.global)
+		}
+		for i := range globals {
+			if owners[i] == me {
+				ref[i] = locals[i]
+			} else {
+				ref[i] = myLocalSize + slotOf[globals[i]]
+			}
+		}
+	}
+	c.Words(2 * len(globals))
+
+	// Exchange request lists: what I ask of p becomes p's send list
+	// to me.
+	in := c.AlltoAllInts(requests)
+	for src := 0; src < p; src++ {
+		if len(in[src]) > 0 {
+			s.sendLocal[src] = in[src]
+		}
+	}
+	// Validate send-list bounds eagerly so executor failures point at
+	// the inspector.
+	for src, lst := range s.sendLocal {
+		for _, l := range lst {
+			if l < 0 || l >= myLocalSize {
+				panic(fmt.Sprintf("schedule: rank %d requested local index %d of rank %d (size %d)",
+					src, l, me, myLocalSize))
+			}
+		}
+	}
+	return s, ref
+}
+
+// Gather executes the schedule owner→consumer: ghost[slot] receives the
+// current value of the owning rank's element for every ghost slot.
+// ghost must have length NGhost. Collective.
+func (s *Schedule) Gather(c *machine.Ctx, local, ghost []float64) {
+	if len(ghost) != s.nGhost {
+		panic(fmt.Sprintf("schedule: ghost buffer length %d, want %d", len(ghost), s.nGhost))
+	}
+	out := make([][]float64, s.procs)
+	for p, lst := range s.sendLocal {
+		if len(lst) == 0 {
+			continue
+		}
+		buf := make([]float64, len(lst))
+		for i, l := range lst {
+			buf[i] = local[l]
+		}
+		out[p] = buf
+	}
+	c.Words(s.SendCount())
+	in := c.AlltoAllFloats(out)
+	for p, slots := range s.recvGhost {
+		vals := in[p]
+		if len(vals) != len(slots) {
+			panic(fmt.Sprintf("schedule: gather from %d delivered %d values, want %d", p, len(vals), len(slots)))
+		}
+		for i, slot := range slots {
+			ghost[slot] = vals[i]
+		}
+	}
+	c.Words(s.RecvCount())
+}
+
+// ScatterAdd executes the schedule consumer→owner with an addition
+// reduction: every ghost slot's value is added into the owning rank's
+// element. This implements the paper's left-hand-side REDUCE(ADD, ...)
+// accumulation. Collective.
+func (s *Schedule) ScatterAdd(c *machine.Ctx, local, ghost []float64) {
+	s.ScatterOp(c, local, ghost, func(a, b float64) float64 { return a + b })
+}
+
+// ScatterOp is ScatterAdd generalized to any commutative, associative
+// reduction (max, min, multiply, ...). Contributions from different
+// ranks are combined in rank order, so the result is deterministic.
+func (s *Schedule) ScatterOp(c *machine.Ctx, local, ghost []float64, op func(owned, contrib float64) float64) {
+	if len(ghost) != s.nGhost {
+		panic(fmt.Sprintf("schedule: ghost buffer length %d, want %d", len(ghost), s.nGhost))
+	}
+	out := make([][]float64, s.procs)
+	for p, slots := range s.recvGhost {
+		if len(slots) == 0 {
+			continue
+		}
+		buf := make([]float64, len(slots))
+		for i, slot := range slots {
+			buf[i] = ghost[slot]
+		}
+		out[p] = buf
+	}
+	c.Words(s.RecvCount())
+	in := c.AlltoAllFloats(out)
+	for p, lst := range s.sendLocal {
+		vals := in[p]
+		if len(vals) != len(lst) {
+			panic(fmt.Sprintf("schedule: scatter from %d delivered %d values, want %d", p, len(vals), len(lst)))
+		}
+		for i, l := range lst {
+			local[l] = op(local[l], vals[i])
+		}
+	}
+	c.Flops(s.SendCount())
+	c.Words(s.SendCount())
+}
+
+// Scatter executes the schedule consumer→owner with overwrite
+// semantics: the owner's element is replaced by the contributed copy.
+// With deduplicated schedules each element has at most one ghost copy
+// per rank; if several ranks contribute, the highest rank wins
+// (deterministic).
+func (s *Schedule) Scatter(c *machine.Ctx, local, ghost []float64) {
+	s.ScatterOp(c, local, ghost, func(_, contrib float64) float64 { return contrib })
+}
+
+// Merge combines two schedules over the same local array into one, so a
+// single communication phase can serve two loops (CHAOS schedule
+// merging). Ghost slots of b are renumbered to follow a's.
+func Merge(a, b *Schedule) *Schedule {
+	if a.procs != b.procs {
+		panic("schedule: Merge across machines")
+	}
+	m := &Schedule{procs: a.procs, nGhost: a.nGhost + b.nGhost}
+	m.sendLocal = make([][]int, a.procs)
+	m.recvGhost = make([][]int, a.procs)
+	for p := 0; p < a.procs; p++ {
+		m.sendLocal[p] = append(append([]int(nil), a.sendLocal[p]...), b.sendLocal[p]...)
+		ga := append([]int(nil), a.recvGhost[p]...)
+		for _, slot := range b.recvGhost[p] {
+			ga = append(ga, a.nGhost+slot)
+		}
+		m.recvGhost[p] = ga
+	}
+	return m
+}

@@ -1,0 +1,197 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chaos/internal/dist"
+	"chaos/internal/machine"
+	"chaos/internal/ttable"
+)
+
+func TestGatherInts(t *testing.T) {
+	const n, p = 30, 3
+	err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		d := dist.NewBlock(n, p)
+		local := make([]int, d.LocalSize(c.Rank()))
+		for l := range local {
+			local[l] = 100 + d.Global(c.Rank(), l)
+		}
+		globals := []int{0, n - 1, n / 2, 0}
+		s, ref := BuildGather(c, ttable.Regular{D: d}, len(local), globals, Options{})
+		ghost := make([]int, s.NGhost())
+		s.GatherInts(c, local, ghost)
+		for i, g := range globals {
+			var got int
+			if ref[i] < len(local) {
+				got = local[ref[i]]
+			} else {
+				got = ghost[ref[i]-len(local)]
+			}
+			if got != 100+g {
+				t.Errorf("g=%d got %d", g, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherVec(t *testing.T) {
+	const n, p, ncomp = 20, 4, 5
+	err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		d := dist.NewBlock(n, p)
+		localN := d.LocalSize(c.Rank())
+		local := make([]float64, localN*ncomp)
+		for l := 0; l < localN; l++ {
+			g := d.Global(c.Rank(), l)
+			for k := 0; k < ncomp; k++ {
+				local[l*ncomp+k] = float64(g*10 + k)
+			}
+		}
+		globals := []int{(d.Hi(c.Rank()) + 3) % n, d.Lo(c.Rank())}
+		s, ref := BuildGather(c, ttable.Regular{D: d}, localN, globals, Options{})
+		ghost := make([]float64, s.NGhost()*ncomp)
+		s.GatherVec(c, local, ghost, ncomp)
+		for i, g := range globals {
+			for k := 0; k < ncomp; k++ {
+				var got float64
+				if ref[i] < localN {
+					got = local[ref[i]*ncomp+k]
+				} else {
+					got = ghost[(ref[i]-localN)*ncomp+k]
+				}
+				if got != float64(g*10+k) {
+					t.Errorf("g=%d comp %d got %v", g, k, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterAddVec(t *testing.T) {
+	const n, p, ncomp = 8, 4, 3
+	err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		d := dist.NewBlock(n, p)
+		localN := d.LocalSize(c.Rank())
+		local := make([]float64, localN*ncomp)
+		// Every rank contributes (rank+1, 0, -(rank+1)) to global 5.
+		globals := []int{5}
+		s, ref := BuildGather(c, ttable.Regular{D: d}, localN, globals, Options{})
+		ghost := make([]float64, s.NGhost()*ncomp)
+		contrib := []float64{float64(c.Rank() + 1), 0, -float64(c.Rank() + 1)}
+		if ref[0] < localN {
+			for k := 0; k < ncomp; k++ {
+				local[ref[0]*ncomp+k] += contrib[k]
+			}
+		} else {
+			copy(ghost[(ref[0]-localN)*ncomp:], contrib)
+		}
+		s.ScatterAddVec(c, local, ghost, ncomp)
+		if d.Owner(5) == c.Rank() {
+			l := d.Local(5)
+			want := []float64{1 + 2 + 3 + 4, 0, -(1 + 2 + 3 + 4)}
+			for k := 0; k < ncomp; k++ {
+				if local[l*ncomp+k] != want[k] {
+					t.Errorf("component %d = %v, want %v", k, local[l*ncomp+k], want[k])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherVecMatchesScalarGatherPerComponent(t *testing.T) {
+	// Property: a vector gather equals ncomp scalar gathers.
+	const n, p, ncomp = 24, 3, 4
+	err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		d := dist.NewBlock(n, p)
+		localN := d.LocalSize(c.Rank())
+		vec := make([]float64, localN*ncomp)
+		scalar := make([][]float64, ncomp)
+		for k := range scalar {
+			scalar[k] = make([]float64, localN)
+		}
+		for l := 0; l < localN; l++ {
+			g := d.Global(c.Rank(), l)
+			for k := 0; k < ncomp; k++ {
+				v := float64(g)*1.5 + float64(k)*100
+				vec[l*ncomp+k] = v
+				scalar[k][l] = v
+			}
+		}
+		globals := []int{(c.Rank()*7 + 1) % n, (c.Rank()*7 + 13) % n}
+		s, _ := BuildGather(c, ttable.Regular{D: d}, localN, globals, Options{})
+		gv := make([]float64, s.NGhost()*ncomp)
+		s.GatherVec(c, vec, gv, ncomp)
+		for k := 0; k < ncomp; k++ {
+			gs := make([]float64, s.NGhost())
+			s.Gather(c, scalar[k], gs)
+			for slot := 0; slot < s.NGhost(); slot++ {
+				if gv[slot*ncomp+k] != gs[slot] {
+					t.Errorf("comp %d slot %d: vec %v scalar %v", k, slot, gv[slot*ncomp+k], gs[slot])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecPanicsOnBadSizes(t *testing.T) {
+	err := machine.Run(machine.Zero(2), func(c *machine.Ctx) {
+		d := dist.NewBlock(8, 2)
+		s, _ := BuildGather(c, ttable.Regular{D: d}, d.LocalSize(c.Rank()), []int{0}, Options{})
+		s.GatherVec(c, make([]float64, 100), make([]float64, 1), 3) // wrong ghost len
+	})
+	if err == nil {
+		t.Fatal("expected panic")
+	}
+}
+
+// Property-based inspector check: for random reference lists over a
+// random block distribution, BuildGather + Gather delivers exactly the
+// referenced values.
+func TestBuildGatherQuickProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawP uint8, rawRefs []uint8) bool {
+		n := int(rawN)%50 + 2
+		p := int(rawP)%6 + 1
+		refs := make([]int, len(rawRefs))
+		for i, r := range rawRefs {
+			refs[i] = int(r) % n
+		}
+		ok := true
+		err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+			d := dist.NewBlock(n, p)
+			local := make([]float64, d.LocalSize(c.Rank()))
+			for l := range local {
+				local[l] = float64(7 * d.Global(c.Rank(), l))
+			}
+			s, ref := BuildGather(c, ttable.Regular{D: d}, len(local), refs, Options{})
+			ghost := make([]float64, s.NGhost())
+			s.Gather(c, local, ghost)
+			for i, g := range refs {
+				var got float64
+				if ref[i] < len(local) {
+					got = local[ref[i]]
+				} else {
+					got = ghost[ref[i]-len(local)]
+				}
+				if got != float64(7*g) {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

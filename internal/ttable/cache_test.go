@@ -1,0 +1,98 @@
+package ttable
+
+import (
+	"testing"
+
+	"chaos/internal/dist"
+	"chaos/internal/machine"
+)
+
+func TestCachedResolveCorrectAndCheaper(t *testing.T) {
+	const n, p = 200, 4
+	owner := irregularOwner(n, p)
+	ref := dist.NewIrregular(owner, p)
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = i
+	}
+	run := func(cached bool) float64 {
+		maxT, err := machine.MaxClock(machine.IPSC860(p), func(c *machine.Ctx) {
+			tab := Build(c, n, myGlobals(owner, c.Rank()))
+			if cached {
+				tab.EnableCache()
+			}
+			start := c.Clock()
+			_ = start
+			for round := 0; round < 5; round++ {
+				owners, locals := tab.Resolve(c, qs)
+				for g := 0; g < n; g++ {
+					if owners[g] != ref.Owner(g) || locals[g] != ref.Local(g) {
+						t.Errorf("cached=%v round %d: wrong answer for %d", cached, round, g)
+					}
+				}
+			}
+			if cached {
+				if tab.CacheSize() != n {
+					t.Errorf("cache holds %d entries, want %d", tab.CacheSize(), n)
+				}
+			} else if tab.CacheSize() != 0 {
+				t.Error("cache populated without EnableCache")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return maxT
+	}
+	plain := run(false)
+	cached := run(true)
+	if cached >= plain {
+		t.Errorf("cached resolve (%.6fs) not cheaper than plain (%.6fs)", cached, plain)
+	}
+}
+
+func TestCacheColdStartMatchesPlain(t *testing.T) {
+	const n, p = 50, 3
+	owner := irregularOwner(n, p)
+	err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		tab := Build(c, n, myGlobals(owner, c.Rank()))
+		tab.EnableCache()
+		// First (cold) resolve must already be correct.
+		qs := []int{3, 3, 17, 42}
+		owners, _ := tab.Resolve(c, qs)
+		for i, g := range qs {
+			if owners[i] != owner[g] {
+				t.Errorf("cold cached resolve wrong for %d", g)
+			}
+		}
+		// Partial warm resolve: mix of hits and misses.
+		qs2 := []int{3, 8, 17, 9}
+		owners2, _ := tab.Resolve(c, qs2)
+		for i, g := range qs2 {
+			if owners2[i] != owner[g] {
+				t.Errorf("warm cached resolve wrong for %d", g)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableCacheIdempotent(t *testing.T) {
+	const n, p = 20, 2
+	owner := irregularOwner(n, p)
+	err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		tab := Build(c, n, myGlobals(owner, c.Rank()))
+		tab.EnableCache()
+		tab.Resolve(c, []int{1, 2})
+		size := tab.CacheSize()
+		tab.EnableCache() // must not clear
+		if tab.CacheSize() != size {
+			t.Error("EnableCache cleared existing entries")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package ttable implements the CHAOS/PARTI distributed translation
+// table. Irregularly distributed arrays have no closed-form owner
+// function, so the runtime stores, for every global index g, the pair
+// (owner rank, local index) on g's "home" processor — the owner of g
+// under a default BLOCK distribution of the index space. Dereference
+// answers batched global→(owner,local) queries with one round trip of
+// all-to-all communication, which is exactly the index-translation step
+// of the paper's Phase D inspector.
+package ttable
+
+import (
+	"fmt"
+	"sort"
+
+	"chaos/internal/dist"
+	"chaos/internal/machine"
+)
+
+// Resolver answers batched ownership queries for a distributed index
+// space. Regular distributions resolve locally; irregular ones go
+// through the distributed translation table.
+type Resolver interface {
+	// Resolve returns, for each queried global index, the owning
+	// rank and the local index there. Must be called by all ranks
+	// collectively if the implementation communicates.
+	Resolve(c *machine.Ctx, globals []int) (owners, locals []int)
+	// Size returns the extent of the index space.
+	Size() int
+	// Kind returns the distribution type for DAD bookkeeping.
+	Kind() dist.Kind
+}
+
+// Regular adapts a closed-form distribution to the Resolver interface;
+// Resolve performs no communication.
+type Regular struct {
+	D dist.Dist
+}
+
+func (r Regular) Resolve(c *machine.Ctx, globals []int) ([]int, []int) {
+	owners := make([]int, len(globals))
+	locals := make([]int, len(globals))
+	for i, g := range globals {
+		owners[i] = r.D.Owner(g)
+		locals[i] = r.D.Local(g)
+	}
+	c.Words(2 * len(globals))
+	return owners, locals
+}
+
+func (r Regular) Size() int              { return r.D.Size() }
+func (r Regular) LocalSize(rank int) int { return r.D.LocalSize(rank) }
+func (r Regular) Kind() dist.Kind        { return r.D.Kind() }
+
+// Table is one rank's slice of the distributed translation table.
+type Table struct {
+	home  dist.BlockDist
+	owner []int // indexed by home-local index
+	local []int
+	mine  []int // global indices owned by this rank, local order
+
+	// cache, when non-nil, memoizes dereference results on the
+	// querying rank (CHAOS's software caching of translation-table
+	// lookups): repeated dereferences of the same globals — the
+	// common case when several loops share indirection arrays — skip
+	// the network round trip.
+	cache map[int][2]int
+}
+
+// EnableCache turns on per-rank memoization of Resolve results. The
+// table is immutable once built, so cached entries never go stale; a
+// redistributed array gets a *new* table, which starts cold.
+func (t *Table) EnableCache() {
+	if t.cache == nil {
+		t.cache = make(map[int][2]int)
+	}
+}
+
+// CacheSize returns the number of memoized dereference entries.
+func (t *Table) CacheSize() int { return len(t.cache) }
+
+// Build constructs the translation table for an irregular distribution
+// of an index space of size n. myGlobals lists the global indices owned
+// by the calling rank; the position of g in myGlobals is its local
+// index. Build must be called collectively. It panics if the union of
+// all ranks' myGlobals is not exactly [0, n) (each index owned once).
+func Build(c *machine.Ctx, n int, myGlobals []int) *Table {
+	p := c.Procs()
+	home := dist.NewBlock(n, p)
+	t := &Table{home: home}
+	t.mine = append([]int(nil), myGlobals...)
+
+	// Route (g, localIndex) to home(g). Payload layout: pairs.
+	out := make([][]int, p)
+	for l, g := range myGlobals {
+		if g < 0 || g >= n {
+			panic(fmt.Sprintf("ttable: global index %d out of range [0,%d)", g, n))
+		}
+		h := home.Owner(g)
+		out[h] = append(out[h], g, l)
+	}
+	c.Words(2 * len(myGlobals))
+	in := c.AlltoAllInts(out)
+
+	sz := home.LocalSize(c.Rank())
+	t.owner = make([]int, sz)
+	t.local = make([]int, sz)
+	filled := make([]bool, sz)
+	lo := home.Lo(c.Rank())
+	for src := 0; src < p; src++ {
+		pairs := in[src]
+		for i := 0; i+1 < len(pairs); i += 2 {
+			g, l := pairs[i], pairs[i+1]
+			hl := g - lo
+			if filled[hl] {
+				panic(fmt.Sprintf("ttable: global index %d claimed by multiple ranks", g))
+			}
+			filled[hl] = true
+			t.owner[hl] = src
+			t.local[hl] = l
+		}
+	}
+	for hl, f := range filled {
+		if !f {
+			panic(fmt.Sprintf("ttable: global index %d owned by no rank", lo+hl))
+		}
+	}
+	c.Words(2 * sz)
+	return t
+}
+
+// Resolve answers global→(owner, local) for each query index, in one
+// all-to-all round trip. Duplicate queries are permitted. Must be
+// called collectively (even when every query hits the local cache, the
+// underlying exchange runs so ranks stay matched).
+func (t *Table) Resolve(c *machine.Ctx, globals []int) ([]int, []int) {
+	p := c.Procs()
+	n := t.home.Size()
+
+	owners := make([]int, len(globals))
+	locals := make([]int, len(globals))
+
+	// Group query positions by home rank, preserving a stable order;
+	// cache hits are answered immediately and skipped.
+	type ref struct{ pos, g int }
+	byHome := make([][]ref, p)
+	for pos, g := range globals {
+		if g < 0 || g >= n {
+			panic(fmt.Sprintf("ttable: query index %d out of range [0,%d)", g, n))
+		}
+		if t.cache != nil {
+			if e, ok := t.cache[g]; ok {
+				owners[pos], locals[pos] = e[0], e[1]
+				continue
+			}
+		}
+		h := t.home.Owner(g)
+		byHome[h] = append(byHome[h], ref{pos, g})
+	}
+	out := make([][]int, p)
+	for h, refs := range byHome {
+		if len(refs) == 0 {
+			continue
+		}
+		qs := make([]int, len(refs))
+		for i, r := range refs {
+			qs[i] = r.g
+		}
+		out[h] = qs
+	}
+	c.Words(2 * len(globals))
+	queries := c.AlltoAllInts(out)
+
+	// Answer queries against the local table slice.
+	lo := t.home.Lo(c.Rank())
+	ans := make([][]int, p)
+	for src := 0; src < p; src++ {
+		qs := queries[src]
+		if len(qs) == 0 {
+			continue
+		}
+		a := make([]int, 2*len(qs))
+		for i, g := range qs {
+			hl := g - lo
+			a[2*i] = t.owner[hl]
+			a[2*i+1] = t.local[hl]
+		}
+		ans[src] = a
+	}
+	c.Words(2 * len(globals))
+	replies := c.AlltoAllInts(ans)
+
+	for h, refs := range byHome {
+		rep := replies[h]
+		for i, r := range refs {
+			owners[r.pos] = rep[2*i]
+			locals[r.pos] = rep[2*i+1]
+			if t.cache != nil {
+				t.cache[r.g] = [2]int{rep[2*i], rep[2*i+1]}
+			}
+		}
+	}
+	return owners, locals
+}
+
+// Size returns the extent of the translated index space.
+func (t *Table) Size() int { return t.home.Size() }
+
+// Kind returns dist.Irregular.
+func (t *Table) Kind() dist.Kind { return dist.Irregular }
+
+// MyCount returns the number of elements owned by the calling rank.
+func (t *Table) MyCount() int { return len(t.mine) }
+
+// MyGlobals returns the calling rank's owned global indices in local
+// order (do not mutate).
+func (t *Table) MyGlobals() []int { return t.mine }
+
+// CountsAllGather returns every rank's element count; collective.
+func (t *Table) CountsAllGather(c *machine.Ctx) []int {
+	return c.AllGatherInt(len(t.mine))
+}
+
+// Replicated gathers the complete ownership map onto every rank and
+// returns it as an IrregularDist; collective. Intended for tests,
+// ablations (replicated vs distributed translation), and small runs.
+func (t *Table) Replicated(c *machine.Ctx) *dist.IrregularDist {
+	lo := t.home.Lo(c.Rank())
+	// Encode (g, owner) pairs for the home-resident entries.
+	pairs := make([]int, 0, 2*len(t.owner))
+	for hl, o := range t.owner {
+		pairs = append(pairs, lo+hl, o)
+	}
+	all := c.AllGatherInts(pairs)
+	owner := make([]int, t.home.Size())
+	for i := 0; i+1 < len(all); i += 2 {
+		owner[all[i]] = all[i+1]
+	}
+	c.Words(len(owner))
+	return dist.NewIrregular(owner, c.Procs())
+}
+
+// SortedCopy returns a sorted copy of xs (test helper shared by
+// packages; exported to avoid duplication).
+func SortedCopy(xs []int) []int {
+	cp := append([]int(nil), xs...)
+	sort.Ints(cp)
+	return cp
+}
