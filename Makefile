@@ -1,0 +1,28 @@
+# Tier-1 gate and developer conveniences for CHAOS-Go.
+
+GO ?= go
+
+.PHONY: check build vet test cover bench quickstart tables
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
+
+quickstart:
+	$(GO) run ./examples/quickstart
+
+tables:
+	$(GO) run ./cmd/chaosbench -quick -markdown

@@ -1,0 +1,3 @@
+module chaos
+
+go 1.24

@@ -1,0 +1,125 @@
+package dist
+
+// CyclicDist is the Fortran D CYCLIC decomposition of [0, n) over p
+// ranks: global index g lives on rank g mod p, and a rank's elements
+// are numbered locally in ascending global order (local l on rank r is
+// global l*p + r). CYCLIC is the degenerate CYCLIC(1) block-cyclic
+// layout; like BlockDist it is a small value type.
+type CyclicDist struct {
+	n, p int
+}
+
+// NewCyclic returns the CYCLIC distribution of an index space of size n
+// over p ranks. It panics if n is negative or p is not positive.
+func NewCyclic(n, p int) CyclicDist {
+	checkSpace("CYCLIC", n, p)
+	return CyclicDist{n: n, p: p}
+}
+
+// Procs returns the number of ranks the space is distributed over.
+func (c CyclicDist) Procs() int { return c.p }
+
+// Owner returns the rank owning global index g.
+func (c CyclicDist) Owner(g int) int {
+	checkGlobal("CYCLIC", g, c.n)
+	return g % c.p
+}
+
+// Local returns the local index of g on its owner.
+func (c CyclicDist) Local(g int) int {
+	checkGlobal("CYCLIC", g, c.n)
+	return g / c.p
+}
+
+// Global returns the global index at local offset l on rank.
+func (c CyclicDist) Global(rank, l int) int {
+	checkRank("CYCLIC", rank, c.p)
+	checkLocal("CYCLIC", l, c.LocalSize(rank))
+	return l*c.p + rank
+}
+
+// Size returns the extent of the index space.
+func (c CyclicDist) Size() int { return c.n }
+
+// LocalSize returns the number of elements dealt to rank.
+func (c CyclicDist) LocalSize(rank int) int {
+	checkRank("CYCLIC", rank, c.p)
+	if rank >= c.n {
+		return 0
+	}
+	return (c.n - rank + c.p - 1) / c.p
+}
+
+// Kind returns Cyclic.
+func (c CyclicDist) Kind() Kind { return Cyclic }
+
+var _ Dist = CyclicDist{}
+
+// BlockCyclicDist is the Fortran D CYCLIC(k) decomposition: [0, n) is
+// cut into blocks of k consecutive elements (the last block may be
+// short) and the blocks are dealt round-robin, block j to rank j mod p.
+// A rank's elements are numbered locally in ascending global order.
+type BlockCyclicDist struct {
+	n, p, k int
+}
+
+// NewBlockCyclic returns the CYCLIC(k) distribution of an index space
+// of size n over p ranks. It panics if n is negative, p is not
+// positive, or the block size k is not positive.
+func NewBlockCyclic(n, p, k int) BlockCyclicDist {
+	checkSpace("BLOCK_CYCLIC", n, p)
+	if k <= 0 {
+		panic("dist: BLOCK_CYCLIC block size must be positive")
+	}
+	return BlockCyclicDist{n: n, p: p, k: k}
+}
+
+// Procs returns the number of ranks the space is distributed over.
+func (bc BlockCyclicDist) Procs() int { return bc.p }
+
+// BlockSize returns the dealing block size k.
+func (bc BlockCyclicDist) BlockSize() int { return bc.k }
+
+// Owner returns the rank owning global index g.
+func (bc BlockCyclicDist) Owner(g int) int {
+	checkGlobal("BLOCK_CYCLIC", g, bc.n)
+	return (g / bc.k) % bc.p
+}
+
+// Local returns the local index of g on its owner. Every owned block
+// preceding g's block is full (only the final global block can be
+// short), so the local index is the owned-block count times k plus the
+// offset within the block.
+func (bc BlockCyclicDist) Local(g int) int {
+	checkGlobal("BLOCK_CYCLIC", g, bc.n)
+	return (g/bc.k/bc.p)*bc.k + g%bc.k
+}
+
+// Global returns the global index at local offset l on rank.
+func (bc BlockCyclicDist) Global(rank, l int) int {
+	checkRank("BLOCK_CYCLIC", rank, bc.p)
+	checkLocal("BLOCK_CYCLIC", l, bc.LocalSize(rank))
+	return (l/bc.k*bc.p+rank)*bc.k + l%bc.k
+}
+
+// Size returns the extent of the index space.
+func (bc BlockCyclicDist) Size() int { return bc.n }
+
+// LocalSize returns the number of elements dealt to rank.
+func (bc BlockCyclicDist) LocalSize(rank int) int {
+	checkRank("BLOCK_CYCLIC", rank, bc.p)
+	full, rem := bc.n/bc.k, bc.n%bc.k
+	sz := 0
+	if full > rank {
+		sz = (full - rank + bc.p - 1) / bc.p * bc.k
+	}
+	if rem > 0 && full%bc.p == rank {
+		sz += rem
+	}
+	return sz
+}
+
+// Kind returns BlockCyclic.
+func (bc BlockCyclicDist) Kind() Kind { return BlockCyclic }
+
+var _ Dist = BlockCyclicDist{}
