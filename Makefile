@@ -2,15 +2,26 @@
 
 GO ?= go
 
-.PHONY: check build vet test cover bench quickstart tables
+.PHONY: check build vet lint test cover bench quickstart tables examples
 
-check: build vet test
+check: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the explicit style gate: fails when any file needs gofmt, then
+# runs go vet.
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+
+# examples runs the testable godoc examples of the public API.
+examples:
+	$(GO) test -run Example -v ./chaos
 
 test:
 	$(GO) test ./...

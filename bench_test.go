@@ -109,6 +109,13 @@ func BenchmarkTable2RSBCompilerReuse(b *testing.B) {
 	})
 }
 
+func BenchmarkTable2MultilevelCompilerReuse(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "MULTILEVEL", Reuse: true, Iters: benchIters, Compiler: true,
+	})
+}
+
 // --- Table 3: compiler-linked RCB detail (one cell per proc count) ---
 
 func BenchmarkTable3RCBDetailP4(b *testing.B) {
@@ -209,6 +216,15 @@ func BenchmarkAblationRSBKL(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
 		Partitioner: "RSB-KL", Reuse: true, Iters: benchIters,
+	})
+}
+
+// --- Ablation: multilevel V-cycle vs full spectral bisection ---
+
+func BenchmarkAblationMultilevel(b *testing.B) {
+	runCell(b, experiments.Config{
+		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
+		Partitioner: "MULTILEVEL", Reuse: true, Iters: benchIters,
 	})
 }
 

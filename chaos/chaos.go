@@ -30,6 +30,16 @@
 // internal/machine): each processor is a goroutine with a virtual clock
 // charged by an iPSC/860-calibrated cost model, so experiments report
 // deterministic machine-like times.
+//
+// SetByPartitioning selects from the partitioner library of the paper's
+// Section 4.2 by name: "RCB" and "INERTIAL" consume GEOMETRY; "RSB",
+// "RSB-KL", "KL" and "MULTILEVEL" consume LINK connectivity; "BLOCK"
+// and "RANDOM" are baselines. MULTILEVEL (coarsen with heavy-edge
+// matching, spectral-solve the coarse graph, uncoarsen with KL
+// refinement) matches RSB's cut quality at a small fraction of its
+// cost and is the recommended default for large meshes; see
+// docs/ARCHITECTURE.md for the trade-offs. RegisterPartitioner links a
+// custom implementation under its own name.
 package chaos
 
 import (

@@ -109,7 +109,7 @@ func Water648() *Workload {
 type Config struct {
 	Procs       int
 	Workload    *Workload
-	Partitioner string // "RCB", "RSB", "RSB-KL", "BLOCK", "RANDOM", "INERTIAL"
+	Partitioner string // "RCB", "RSB", "RSB-KL", "MULTILEVEL", "BLOCK", "RANDOM", "INERTIAL"
 	Reuse       bool   // communication-schedule reuse on/off
 	Iters       int    // executor iterations (paper: 100)
 	Compiler    bool   // drive through the Fortran-90D front end

@@ -264,3 +264,112 @@ func (f *Full) Weight(v int) float64 {
 
 // Neighbors returns the neighbors of global vertex v.
 func (f *Full) Neighbors(v int) []int { return f.Adj[f.XAdj[v]:f.XAdj[v+1]] }
+
+// Contractor builds coarse graphs of weighted CSR graphs under a
+// clustering — the coarse-GeoCoL construction step of multilevel
+// partitioning schemes. The zero value is ready to use; reusing one
+// Contractor across the calls of a coarsening ladder amortizes its
+// scratch arrays, which matters because a multilevel partitioner
+// contracts graphs proportional to its entire recursion tree.
+type Contractor struct {
+	start, next, members []int
+	acc                  []float64 // summed weight toward each coarse neighbor
+	mark                 []int     // mark[u] == stamp: u already seen for this cluster
+	stamp                int
+	nbrs                 []int
+}
+
+// Contract builds the coarse graph under a clustering. cmap maps each
+// of the len(xadj)-1 fine vertices to a coarse vertex in [0, nc); ew
+// holds per-edge weights parallel to adj and w per-vertex weights
+// (either may be nil, meaning unit weights). The coarse graph
+// aggregates faithfully: coarse vertex weights are the sums of their
+// members' weights, parallel fine edges between two clusters merge
+// into one coarse edge carrying the summed weight, and edges internal
+// to a cluster vanish. Coarse adjacency lists follow first-encounter
+// order over each cluster's members — deterministic (coarsening
+// ladders must replay exactly), though not sorted — and the result
+// keeps the symmetric CSR form the fine graph uses. The returned
+// slices are freshly allocated; only scratch is reused.
+func (ct *Contractor) Contract(xadj, adj []int, ew, w []float64, cmap []int, nc int) (cxadj, cadj []int, cew, cw []float64) {
+	n := len(xadj) - 1
+	cw = make([]float64, nc)
+	for v := 0; v < n; v++ {
+		if w == nil {
+			cw[cmap[v]]++
+		} else {
+			cw[cmap[v]] += w[v]
+		}
+	}
+
+	// Bucket fine vertices by coarse vertex (counting sort) so each
+	// coarse adjacency list is assembled in one contiguous scan.
+	start := ct.grow(&ct.start, nc+1)
+	for i := range start {
+		start[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		start[cmap[v]+1]++
+	}
+	for c := 0; c < nc; c++ {
+		start[c+1] += start[c]
+	}
+	members := ct.grow(&ct.members, n)
+	next := ct.grow(&ct.next, nc)
+	copy(next, start[:nc])
+	for v := 0; v < n; v++ {
+		members[next[cmap[v]]] = v
+		next[cmap[v]]++
+	}
+
+	if len(ct.acc) < nc {
+		ct.acc = make([]float64, nc)
+		ct.mark = make([]int, nc)
+		ct.stamp = 0
+	}
+	cxadj = make([]int, nc+1)
+	cadj = make([]int, 0, len(adj))
+	cew = make([]float64, 0, len(adj))
+	for c := 0; c < nc; c++ {
+		ct.stamp++
+		ct.nbrs = ct.nbrs[:0]
+		for _, v := range members[start[c]:start[c+1]] {
+			for k := xadj[v]; k < xadj[v+1]; k++ {
+				u := cmap[adj[k]]
+				if u == c {
+					continue // internal edge vanishes
+				}
+				if ct.mark[u] != ct.stamp {
+					ct.mark[u] = ct.stamp
+					ct.acc[u] = 0
+					ct.nbrs = append(ct.nbrs, u)
+				}
+				if ew == nil {
+					ct.acc[u]++
+				} else {
+					ct.acc[u] += ew[k]
+				}
+			}
+		}
+		for _, u := range ct.nbrs {
+			cadj = append(cadj, u)
+			cew = append(cew, ct.acc[u])
+		}
+		cxadj[c+1] = len(cadj)
+	}
+	return cxadj, cadj, cew, cw
+}
+
+// grow returns (*s)[:n], reallocating only when the capacity is short.
+func (ct *Contractor) grow(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	return (*s)[:n]
+}
+
+// Contract is the one-shot convenience form of Contractor.Contract.
+func Contract(xadj, adj []int, ew, w []float64, cmap []int, nc int) (cxadj, cadj []int, cew, cw []float64) {
+	var ct Contractor
+	return ct.Contract(xadj, adj, ew, w, cmap, nc)
+}

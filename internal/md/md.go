@@ -1,5 +1,6 @@
 // Package md generates the molecular-dynamics workload standing in for
-// the paper's 648-atom water electrostatic force calculation (CHARMM):
+// the paper's 648-atom water electrostatic force calculation (CHARMM;
+// the "648 Atoms" columns of the Section 6 evaluation, Tables 1, 3, 4):
 // a box of 3-site water molecules on a jittered lattice, a cutoff-radius
 // nonbonded pair list, and an electrostatic force kernel whose loop
 // shape is exactly the paper's L2 (a pair list is an edge list; force

@@ -1,6 +1,7 @@
 // Package mesh generates the synthetic 3-D unstructured meshes used in
 // place of the paper's Euler-solver meshes (Mavriplis, 10K and 53K mesh
-// points). A jittered hexahedral lattice is split with tetrahedral-style
+// points; the unstructured-mesh workload of the paper's Section 6
+// evaluation, Tables 1-4). A jittered hexahedral lattice is split with tetrahedral-style
 // diagonal connectivity, then the vertices are randomly renumbered.
 // The renumbering reproduces the property the paper's experiments turn
 // on: "the way in which the nodes of an irregular computational mesh

@@ -1,0 +1,108 @@
+package partition
+
+import (
+	"math"
+
+	"chaos/internal/geocol"
+)
+
+// This file implements the coarsening half of the multilevel
+// partitioner: heavy-edge matching (Karypis & Kumar's HEM) collapses a
+// graph level by level while vertex and edge weights are aggregated so
+// every coarse graph remains a faithful summary of the finest one —
+// the edge cut of a coarse partition equals the cut of its projection,
+// and vertex-weight balance is preserved exactly.
+
+// heavyEdgeMatch greedily matches each vertex with the still-unmatched
+// neighbor joined by the heaviest edge; a vertex whose neighbors are
+// all taken is absorbed into the cluster of its heaviest neighbor
+// instead of surviving as a singleton, which speeds up the shrink rate
+// (and so shortens the ladder) without hurting cut quality. Growing a
+// cluster past maxW vertex weight is forbidden (maxW <= 0 disables the
+// cap): the cap keeps coarse vertices small enough that the coarsest-
+// level median sweep can land within the KL refiner's balance slack.
+// Deterministic: vertices are visited in index order and ties broken
+// by original id. Returns the fine-to-coarse vertex map and the coarse
+// vertex count.
+func heavyEdgeMatch(sg *subgraph, maxW float64) (cmap []int, nc int) {
+	cmap = make([]int, sg.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	cw := make([]float64, 0, sg.n/2+1) // weight of each coarse cluster so far
+	for v := 0; v < sg.n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		// First choice: the heaviest edge to an unmatched neighbor.
+		best, bestW := -1, math.Inf(-1)
+		for k := sg.xadj[v]; k < sg.xadj[v+1]; k++ {
+			u := sg.adj[k]
+			if cmap[u] >= 0 {
+				continue
+			}
+			if maxW > 0 && sg.w[v]+sg.w[u] > maxW {
+				continue
+			}
+			ew := sg.edgeW(k)
+			if ew > bestW || (ew == bestW && sg.orig[u] < sg.orig[best]) {
+				best, bestW = u, ew
+			}
+		}
+		if best >= 0 {
+			cmap[v], cmap[best] = nc, nc
+			cw = append(cw, sg.w[v]+sg.w[best])
+			nc++
+			continue
+		}
+		// Fallback: absorb into the heaviest already-formed neighbor
+		// cluster that still has weight headroom.
+		best, bestW = -1, math.Inf(-1)
+		for k := sg.xadj[v]; k < sg.xadj[v+1]; k++ {
+			u := sg.adj[k]
+			if cmap[u] < 0 {
+				continue // unmatched but over the pair cap
+			}
+			if maxW > 0 && cw[cmap[u]]+sg.w[v] > maxW {
+				continue
+			}
+			ew := sg.edgeW(k)
+			if ew > bestW || (ew == bestW && sg.orig[u] < sg.orig[best]) {
+				best, bestW = u, ew
+			}
+		}
+		if best >= 0 {
+			c := cmap[best]
+			cmap[v] = c
+			cw[c] += sg.w[v]
+			continue
+		}
+		cmap[v] = nc
+		cw = append(cw, sg.w[v])
+		nc++
+	}
+	sg.flops += int64(2*len(sg.adj) + sg.n)
+	return cmap, nc
+}
+
+// contract builds the coarse subgraph induced by cmap, delegating the
+// CSR and weight aggregation to the geocol Contractor (shared across a
+// ladder so its scratch is amortized). The coarse vertex inherits the
+// smallest original id among its members, keeping the deterministic
+// tie-breaks of the refiner meaningful at every level.
+func contract(ct *geocol.Contractor, sg *subgraph, cmap []int, nc int) *subgraph {
+	cxadj, cadj, cew, cw := ct.Contract(sg.xadj, sg.adj, sg.ew, sg.w, cmap, nc)
+	cs := &subgraph{n: nc, xadj: cxadj, adj: cadj, ew: cew, w: cw}
+	cs.orig = make([]int, nc)
+	for i := range cs.orig {
+		cs.orig[i] = -1
+	}
+	for v := 0; v < sg.n; v++ {
+		c := cmap[v]
+		if cs.orig[c] < 0 || sg.orig[v] < cs.orig[c] {
+			cs.orig[c] = sg.orig[v]
+		}
+	}
+	sg.flops += int64(2*len(sg.adj) + 2*sg.n)
+	return cs
+}

@@ -7,12 +7,16 @@ import (
 )
 
 // subgraph is a compact CSR view of an induced subgraph used by the
-// serial spectral machinery. Vertex i of the subgraph corresponds to
-// orig[i] in the parent graph.
+// serial spectral and multilevel machinery. Vertex i of the subgraph
+// corresponds to orig[i] in the parent graph.
 type subgraph struct {
 	n    int
 	xadj []int
 	adj  []int // subgraph-local neighbor ids
+	// ew holds per-edge weights parallel to adj; nil means unit
+	// weights. Coarsened graphs carry the aggregated multiplicity of
+	// the fine edges each coarse edge represents.
+	ew   []float64
 	w    []float64
 	orig []int
 	// flops accumulates the floating-point work performed on this
@@ -20,16 +24,44 @@ type subgraph struct {
 	flops int64
 }
 
-// laplacianMatVec computes y = L x where L = D - A is the combinatorial
-// Laplacian of the subgraph.
-func (sg *subgraph) laplacianMatVec(x, y []float64) {
+// edgeW returns the weight of adjacency slot k (1 when unweighted).
+func (sg *subgraph) edgeW(k int) float64 {
+	if sg.ew == nil {
+		return 1
+	}
+	return sg.ew[k]
+}
+
+// totalWeight sums the vertex weights of the subgraph.
+func (sg *subgraph) totalWeight() float64 {
+	t := 0.0
 	for i := 0; i < sg.n; i++ {
-		deg := float64(sg.xadj[i+1] - sg.xadj[i])
-		s := deg * x[i]
-		for _, j := range sg.adj[sg.xadj[i]:sg.xadj[i+1]] {
-			s -= x[j]
+		t += sg.w[i]
+	}
+	return t
+}
+
+// laplacianMatVec computes y = L x where L = D - A is the (weighted)
+// combinatorial Laplacian of the subgraph.
+func (sg *subgraph) laplacianMatVec(x, y []float64) {
+	if sg.ew == nil {
+		for i := 0; i < sg.n; i++ {
+			deg := float64(sg.xadj[i+1] - sg.xadj[i])
+			s := deg * x[i]
+			for _, j := range sg.adj[sg.xadj[i]:sg.xadj[i+1]] {
+				s -= x[j]
+			}
+			y[i] = s
 		}
-		y[i] = s
+	} else {
+		for i := 0; i < sg.n; i++ {
+			deg, s := 0.0, 0.0
+			for k := sg.xadj[i]; k < sg.xadj[i+1]; k++ {
+				deg += sg.ew[k]
+				s -= sg.ew[k] * x[sg.adj[k]]
+			}
+			y[i] = s + deg*x[i]
+		}
 	}
 	sg.flops += int64(2*len(sg.adj) + 2*sg.n)
 }

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"math"
+
 	"chaos/internal/geocol"
 	"chaos/internal/machine"
 )
@@ -8,16 +10,27 @@ import (
 // klRefine improves a bisection with a Kernighan-Lin / Fiduccia-
 // Mattheyses style boundary pass: repeatedly move the vertex with the
 // best edge-cut gain to the other side, subject to a weight-balance
-// constraint, keeping the best prefix of moves. Runs a small fixed
-// number of passes; deterministic (ties broken by original vertex id).
+// constraint, keeping the best prefix of moves. Gains are computed once
+// per pass and updated incrementally as moves commit, and candidates
+// are drawn from a boundary-seeded lazy max-heap (the FM bookkeeping),
+// so a pass costs O(E + moves log n) — cheap enough that the multilevel
+// partitioner can afford a pass at every uncoarsening level. Runs a
+// small fixed number of passes; deterministic (ties broken by original
+// vertex id).
 func klRefine(sg *subgraph, side []bool, targetLeftW float64) {
-	const passes = 4
-	const tol = 0.02 // allowed relative imbalance around the target
+	klRefineN(sg, side, targetLeftW, 4)
+}
 
-	totalW := 0.0
-	for i := 0; i < sg.n; i++ {
-		totalW += sg.w[i]
-	}
+// klRefineN is klRefine with an explicit pass budget; the multilevel
+// partitioner spends fewer passes on interior uncoarsening levels,
+// whose boundaries get re-polished at every finer level anyway.
+func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
+	const tol = 0.02 // allowed relative imbalance around the target
+	// plateau bounds how far a pass chases zero/negative-gain moves
+	// past its best prefix before giving up on the hill.
+	const plateau = 64
+
+	totalW := sg.totalWeight()
 	slack := tol * totalW
 
 	leftW := 0.0
@@ -27,49 +40,67 @@ func klRefine(sg *subgraph, side []bool, targetLeftW float64) {
 		}
 	}
 
-	gain := func(v int) int {
-		// Cut-edge reduction when v switches sides.
-		ext, intr := 0, 0
-		for _, u := range sg.adj[sg.xadj[v]:sg.xadj[v+1]] {
-			if side[u] == side[v] {
-				intr++
-			} else {
-				ext++
-			}
-		}
-		return ext - intr
-	}
+	// gains[v] is the cut-weight reduction when v switches sides (unit
+	// edge weights on the finest graph; aggregated multiplicities on
+	// coarse graphs).
+	gains := make([]float64, sg.n)
+	var stash []int
 
 	for pass := 0; pass < passes; pass++ {
+		// Seed the candidate heap with the boundary vertices; interior
+		// vertices (gain -2*weighted degree) are never competitive and
+		// join lazily if a neighbor's move puts them on the boundary.
+		h := klHeap{orig: sg.orig}
+		for v := 0; v < sg.n; v++ {
+			g, boundary := 0.0, false
+			for k := sg.xadj[v]; k < sg.xadj[v+1]; k++ {
+				if side[sg.adj[k]] == side[v] {
+					g -= sg.edgeW(k)
+				} else {
+					g += sg.edgeW(k)
+					boundary = true
+				}
+			}
+			gains[v] = g
+			if boundary {
+				h.push(g, v)
+			}
+		}
 		locked := make([]bool, sg.n)
 		type move struct {
 			v    int
-			gain int
+			gain float64
 		}
 		var seq []move
-		cum, best, bestAt := 0, 0, -1
+		cum, best, bestAt := 0.0, 0.0, -1
 		curLeftW := leftW
 
-		for step := 0; step < sg.n; step++ {
-			bv, bg := -1, -1<<30
-			for v := 0; v < sg.n; v++ {
-				if locked[v] {
-					continue
+		for len(seq) < sg.n {
+			// Pop the best live candidate whose move keeps the balance
+			// inside the window; balance-blocked candidates are stashed
+			// and re-offered after the move commits.
+			bv, bg := -1, math.Inf(-1)
+			stash = stash[:0]
+			for h.len() > 0 {
+				e := h.pop()
+				if locked[e.v] || gains[e.v] != e.gain {
+					continue // stale entry
 				}
-				// Balance feasibility of moving v.
 				nl := curLeftW
-				if side[v] {
-					nl -= sg.w[v]
+				if side[e.v] {
+					nl -= sg.w[e.v]
 				} else {
-					nl += sg.w[v]
+					nl += sg.w[e.v]
 				}
 				if nl < targetLeftW-slack || nl > targetLeftW+slack {
+					stash = append(stash, e.v)
 					continue
 				}
-				g := gain(v)
-				if g > bg || (g == bg && bv >= 0 && sg.orig[v] < sg.orig[bv]) {
-					bv, bg = v, g
-				}
+				bv, bg = e.v, e.gain
+				break
+			}
+			for _, v := range stash {
+				h.push(gains[v], v)
 			}
 			if bv < 0 {
 				break
@@ -81,16 +112,31 @@ func klRefine(sg *subgraph, side []bool, targetLeftW float64) {
 				curLeftW += sg.w[bv]
 			}
 			side[bv] = !side[bv]
+			// Incremental gain update: every edge at bv flipped
+			// internal<->external, so bv's gain negates and each
+			// neighbor's moves by twice the edge weight.
+			gains[bv] = -gains[bv]
+			for k := sg.xadj[bv]; k < sg.xadj[bv+1]; k++ {
+				u := sg.adj[k]
+				if side[u] == side[bv] {
+					gains[u] -= 2 * sg.edgeW(k)
+				} else {
+					gains[u] += 2 * sg.edgeW(k)
+				}
+				if !locked[u] {
+					h.push(gains[u], u)
+				}
+			}
 			cum += bg
 			seq = append(seq, move{bv, bg})
 			if cum > best {
 				best, bestAt = cum, len(seq)-1
 			}
-			if bg < 0 && len(seq)-bestAt > 8 {
+			if bg <= 0 && len(seq)-bestAt > plateau {
 				break // hill gone cold
 			}
 		}
-		sg.flops += int64(len(seq) * sg.n) // selection scans
+		sg.flops += int64(2*len(sg.adj) + len(seq)*64) // gain upkeep + heap ops
 
 		// Roll back moves past the best prefix.
 		for i := len(seq) - 1; i > bestAt; i-- {
@@ -134,51 +180,7 @@ func (KL) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	if !g.HasLink {
 		panic("partition: KL requires a GeoCoL LINK component")
 	}
-	f := g.Gather(c)
-
-	var part []int
-	var flops int64
-	if c.Rank() == 0 {
-		part = make([]int, f.N)
-		verts := make([]int, f.N)
-		for i := range verts {
-			verts[i] = i
-		}
-		type task struct {
-			verts  []int
-			partLo int
-			nparts int
-		}
-		stack := []task{{verts, 0, nparts}}
-		for len(stack) > 0 {
-			t := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if t.nparts == 1 {
-				for _, v := range t.verts {
-					part[v] = t.partLo
-				}
-				continue
-			}
-			nl := halves(t.nparts)
-			left, right, fl := klBisect(f, t.verts, float64(nl)/float64(t.nparts))
-			flops += fl
-			stack = append(stack,
-				task{right, t.partLo + nl, t.nparts - nl},
-				task{left, t.partLo, nl},
-			)
-		}
-		part = append(part, int(flops))
-	}
-	part = c.BroadcastInts(0, part)
-	c.Flops(part[len(part)-1])
-	part = part[:len(part)-1]
-
-	lo := g.Home.Lo(c.Rank())
-	out := make([]int, g.LocalN(c.Rank()))
-	for l := range out {
-		out[l] = part[lo+l]
-	}
-	return out
+	return serialBisectPartition(c, g, nparts, klBisect)
 }
 
 // klBisect seeds a split by breadth-first region growing from the
@@ -236,6 +238,68 @@ func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flo
 		}
 	}
 	return left, right, sg.flops
+}
+
+// klEntry is one candidate move in the refinement heap. Entries are
+// immutable snapshots: when a vertex's gain changes a fresh entry is
+// pushed and the old one turns stale (detected on pop by comparing
+// against the live gain).
+type klEntry struct {
+	gain float64
+	v    int
+}
+
+// klHeap is a deterministic max-heap of move candidates: highest gain
+// first, ties broken toward the smaller original vertex id.
+type klHeap struct {
+	orig    []int
+	entries []klEntry
+}
+
+func (h *klHeap) len() int { return len(h.entries) }
+
+// before reports whether a is a higher-priority candidate than b.
+func (h *klHeap) before(a, b klEntry) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return h.orig[a.v] < h.orig[b.v]
+}
+
+func (h *klHeap) push(gain float64, v int) {
+	h.entries = append(h.entries, klEntry{gain, v})
+	i := len(h.entries) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(h.entries[i], h.entries[p]) {
+			break
+		}
+		h.entries[i], h.entries[p] = h.entries[p], h.entries[i]
+		i = p
+	}
+}
+
+func (h *klHeap) pop() klEntry {
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(h.entries) && h.before(h.entries[l], h.entries[m]) {
+			m = l
+		}
+		if r < len(h.entries) && h.before(h.entries[r], h.entries[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.entries[i], h.entries[m] = h.entries[m], h.entries[i]
+		i = m
+	}
+	return top
 }
 
 // CutEdges counts edges crossing parts in a full partition map (test

@@ -74,6 +74,58 @@ func init() {
 	Register(RSB{})
 	Register(RSB{Refine: true})
 	Register(KL{})
+	Register(Multilevel{})
+}
+
+// serialBisectPartition is the shared driver of the serial recursive-
+// bisection partitioners (RSB, KL, MULTILEVEL): the GeoCoL graph is
+// gathered (charged as graph-generation cost), rank 0 recursively
+// bisects the vertex set with bisect and broadcasts the map together
+// with the flop count of the solve, and every rank's clock is charged
+// the full cost — the replicated-cost convention explained on RSB.
+func serialBisectPartition(c *machine.Ctx, g *geocol.Graph, nparts int,
+	bisect func(f *geocol.Full, verts []int, frac float64) (left, right []int, flops int64)) []int {
+	f := g.Gather(c)
+
+	var part []int
+	if c.Rank() == 0 {
+		part = make([]int, f.N)
+		var flops int64
+		verts := make([]int, f.N)
+		for i := range verts {
+			verts[i] = i
+		}
+		stack := []splitTask{{verts: verts, partLo: 0, nparts: nparts}}
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if t.nparts == 1 {
+				for _, v := range t.verts {
+					part[v] = t.partLo
+				}
+				continue
+			}
+			nl := halves(t.nparts)
+			left, right, fl := bisect(f, t.verts, float64(nl)/float64(t.nparts))
+			flops += fl
+			stack = append(stack,
+				splitTask{verts: right, partLo: t.partLo + nl, nparts: t.nparts - nl},
+				splitTask{verts: left, partLo: t.partLo, nparts: nl},
+			)
+		}
+		part = append(part, int(flops))
+	}
+	part = c.BroadcastInts(0, part)
+	c.Flops(part[len(part)-1])
+	part = part[:len(part)-1]
+
+	// Return this rank's home-resident slice.
+	lo := g.Home.Lo(c.Rank())
+	out := make([]int, g.LocalN(c.Rank()))
+	for l := range out {
+		out[l] = part[lo+l]
+	}
+	return out
 }
 
 // checkArgs validates common preconditions.

@@ -116,6 +116,87 @@ func TestKLBalance(t *testing.T) {
 	}
 }
 
+// TestMultilevelCutQuality pins the multilevel tentpole's quality bar:
+// the coarsen → spectral-solve → KL-refine V-cycle must stay within 15%
+// of full recursive spectral bisection's edge cut on the reference
+// shell meshes (in practice it matches or beats RSB, because the
+// per-level refinement acts like RSB-KL).
+func TestMultilevelCutQuality(t *testing.T) {
+	for _, tc := range []struct {
+		n, p int
+		seed uint64
+	}{
+		{4000, 8, 7},
+		{2000, 4, 5},
+	} {
+		m := mesh.Generate(tc.n, tc.seed)
+		rsb := meshCuts(t, m, "RSB", tc.p)
+		ml := meshCuts(t, m, "MULTILEVEL", tc.p)
+		if float64(ml) > 1.15*float64(rsb) {
+			t.Errorf("mesh %d/%d parts: MULTILEVEL cut %d exceeds RSB cut %d by more than 15%%",
+				tc.n, tc.p, ml, rsb)
+		}
+	}
+}
+
+// TestMultilevelBalance checks the weight balance survives the V-cycle:
+// coarse vertices are capped at 1% of the group weight, so projection
+// plus refinement must land every part within 10% of ideal.
+func TestMultilevelBalance(t *testing.T) {
+	m := mesh.Generate(1000, 6)
+	const p = 4
+	pt, err := Lookup("MULTILEVEL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		eb := m.NEdge() / p
+		elo, ehi := c.Rank()*eb, (c.Rank()+1)*eb
+		if c.Rank() == p-1 {
+			ehi = m.NEdge()
+		}
+		g := geocol.Build(c, m.NNode, geocol.WithLink(m.E1[elo:ehi], m.E2[elo:ehi]))
+		part := c.AllGatherInts(pt.Partition(c, g, p))
+		if c.Rank() == 0 {
+			counts := make([]int, p)
+			for _, x := range part {
+				counts[x]++
+			}
+			ideal := m.NNode / p
+			for r, n := range counts {
+				if n < ideal*9/10 || n > ideal*11/10 {
+					t.Errorf("part %d holds %d vertices, ideal %d", r, n, ideal)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultilevelDeterminism guards the collective contract: the same
+// graph must produce the identical map on every run (matching,
+// contraction and refinement are all deterministic).
+func TestMultilevelDeterminism(t *testing.T) {
+	m := mesh.Generate(1500, 3)
+	a := meshCuts(t, m, "MULTILEVEL", 8)
+	b := meshCuts(t, m, "MULTILEVEL", 8)
+	if a != b {
+		t.Errorf("MULTILEVEL cut differs across runs: %d vs %d", a, b)
+	}
+}
+
+func TestMultilevelRequiresLink(t *testing.T) {
+	err := machine.Run(machine.Zero(2), func(c *machine.Ctx) {
+		g := geocol.Build(c, 16)
+		Multilevel{}.Partition(c, g, 2)
+	})
+	if err == nil {
+		t.Fatal("MULTILEVEL without LINK should fail")
+	}
+}
+
 func TestKLRequiresLink(t *testing.T) {
 	err := machine.Run(machine.Zero(2), func(c *machine.Ctx) {
 		g := geocol.Build(c, 16)

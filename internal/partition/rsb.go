@@ -40,56 +40,10 @@ func (r RSB) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	if !g.HasLink {
 		panic("partition: RSB requires a GeoCoL LINK component")
 	}
-	f := g.Gather(c)
-
-	// Serial recursive bisection over the gathered graph. Rank 0 runs
-	// the solve and broadcasts both the map and the flop count; every
-	// rank's clock is charged the full cost (see the type comment).
-	var part []int
-	var flops int64
-	if c.Rank() == 0 {
-		part = make([]int, f.N)
-		verts := make([]int, f.N)
-		for i := range verts {
-			verts[i] = i
-		}
-		type task struct {
-			verts  []int
-			partLo int
-			nparts int
-		}
-		stack := []task{{verts, 0, nparts}}
-		for len(stack) > 0 {
-			t := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if t.nparts == 1 {
-				for _, v := range t.verts {
-					part[v] = t.partLo
-				}
-				continue
-			}
-			nl := halves(t.nparts)
-			left, right, fl := spectralBisect(f, t.verts, float64(nl)/float64(t.nparts), r.Refine)
-			flops += fl
-			stack = append(stack,
-				task{right, t.partLo + nl, t.nparts - nl},
-				task{left, t.partLo, nl},
-			)
-		}
-		part = append(part, int(flops))
-	}
-	part = c.BroadcastInts(0, part)
-	flopsAll := part[len(part)-1]
-	part = part[:len(part)-1]
-	c.Flops(flopsAll)
-
-	// Return this rank's home-resident slice.
-	lo := g.Home.Lo(c.Rank())
-	out := make([]int, g.LocalN(c.Rank()))
-	for l := range out {
-		out[l] = part[lo+l]
-	}
-	return out
+	return serialBisectPartition(c, g, nparts,
+		func(f *geocol.Full, verts []int, frac float64) ([]int, []int, int64) {
+			return spectralBisect(f, verts, frac, r.Refine)
+		})
 }
 
 // spectralBisect splits verts into halves at the weighted median of
@@ -97,10 +51,21 @@ func (r RSB) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 // of the solve.
 func spectralBisect(f *geocol.Full, verts []int, frac float64, refine bool) (left, right []int, flops int64) {
 	sg := induce(f, verts)
-	fv := sg.fiedler(uint64(len(verts))*2654435761 + uint64(len(sg.adj)))
+	side := fiedlerSide(sg, frac)
+	if refine {
+		klRefine(sg, side, sg.totalWeight()*frac)
+	}
+	left, right = splitSides(sg, side)
+	return left, right, sg.flops
+}
 
-	// Sort subgraph vertices by Fiedler value, tie-broken by original
-	// id for determinism.
+// fiedlerSide marks the left side of a weighted-median split of sg
+// along its approximate Fiedler vector: vertices are sorted by Fiedler
+// value (tie-broken by original id for determinism) and swept until a
+// frac share of the vertex weight is on the left.
+func fiedlerSide(sg *subgraph, frac float64) []bool {
+	fv := sg.fiedler(uint64(sg.n)*2654435761 + uint64(len(sg.adj)))
+
 	order := make([]int, sg.n)
 	for i := range order {
 		order[i] = i
@@ -112,11 +77,7 @@ func spectralBisect(f *geocol.Full, verts []int, frac float64, refine bool) (lef
 		}
 		return sg.orig[ia] < sg.orig[ib]
 	})
-	totalW := 0.0
-	for i := 0; i < sg.n; i++ {
-		totalW += sg.w[i]
-	}
-	target := totalW * frac
+	target := sg.totalWeight() * frac
 	acc := 0.0
 	side := make([]bool, sg.n) // true = left
 	for _, i := range order {
@@ -126,10 +87,12 @@ func spectralBisect(f *geocol.Full, verts []int, frac float64, refine bool) (lef
 		}
 	}
 	sg.flops += int64(sg.n * 20) // sort + sweep bookkeeping
+	return side
+}
 
-	if refine {
-		klRefine(sg, side, target)
-	}
+// splitSides partitions sg's vertices by side, returning original-id
+// lists.
+func splitSides(sg *subgraph, side []bool) (left, right []int) {
 	for i := 0; i < sg.n; i++ {
 		if side[i] {
 			left = append(left, sg.orig[i])
@@ -137,13 +100,19 @@ func spectralBisect(f *geocol.Full, verts []int, frac float64, refine bool) (lef
 			right = append(right, sg.orig[i])
 		}
 	}
-	return left, right, sg.flops
+	return left, right
 }
 
-// induce extracts the subgraph of f induced by verts.
+// induce extracts the subgraph of f induced by verts. The global-to-
+// local translation uses a scatter array rather than a map: bisection
+// induces subgraphs proportional to the whole recursion tree, and the
+// array keeps that linear in practice.
 func induce(f *geocol.Full, verts []int) *subgraph {
 	sg := &subgraph{n: len(verts), orig: append([]int(nil), verts...)}
-	local := make(map[int]int, len(verts))
+	local := make([]int, f.N)
+	for i := range local {
+		local[i] = -1
+	}
 	for i, v := range verts {
 		local[v] = i
 	}
@@ -152,7 +121,7 @@ func induce(f *geocol.Full, verts []int) *subgraph {
 	for i, v := range verts {
 		sg.w[i] = f.Weight(v)
 		for _, u := range f.Neighbors(v) {
-			if j, ok := local[u]; ok {
+			if j := local[u]; j >= 0 {
 				sg.adj = append(sg.adj, j)
 			}
 		}

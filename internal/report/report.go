@@ -1,5 +1,5 @@
 // Package report formats experiment results as aligned text tables in
-// the style of the paper's Tables 1-4.
+// the style of the paper's Section 6 evaluation (Tables 1-4).
 package report
 
 import (

@@ -1,7 +1,9 @@
 // Package xrand provides a small deterministic pseudo-random stream
 // (SplitMix64) used by workload generators and partitioners. Every
 // consumer seeds its own stream, so results are reproducible and
-// independent of call order elsewhere in the program.
+// independent of call order elsewhere in the program — which is what
+// lets the paper's Section 6 tables regenerate bit-identically on any
+// host.
 package xrand
 
 // Stream is a SplitMix64 generator. The zero value is a valid stream
