@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test cover bench quickstart tables examples
+# COVER_FLOOR is the recorded statement-coverage floor of ./internal/...
+# (89.8% measured under -short at the time of recording); `make
+# cover-check` fails when total coverage drops below it. Raise it when
+# coverage durably improves.
+COVER_FLOOR = 89.0
+
+.PHONY: check build vet lint test race cover cover-check bench bench-json quickstart tables examples
 
 check: build lint test
 
@@ -26,11 +32,31 @@ examples:
 test:
 	$(GO) test ./...
 
+# race runs the full suite under the race detector — the machine
+# simulator is goroutine-per-rank, so this is the gate that matters.
+race:
+	$(GO) test -race ./...
+
 cover:
 	$(GO) test -cover ./...
 
+# cover-check enforces the statement-coverage floor over ./internal/...
+# -short skips the host-timing comparisons, which are meaningless (and
+# flaky) under coverage instrumentation overhead.
+cover-check:
+	$(GO) test -short -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total ./internal/... coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "FAIL: coverage $$total% is below the recorded $(COVER_FLOOR)% floor"; exit 1; }
+
 bench:
 	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
+
+# bench-json emits the perf-trajectory document CI archives per push.
+bench-json:
+	$(GO) test -bench . -benchtime 5x -run '^$$' ./... | $(GO) run ./cmd/benchjson -o BENCH_local.json
+	@echo wrote BENCH_local.json
 
 quickstart:
 	$(GO) run ./examples/quickstart

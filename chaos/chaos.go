@@ -37,9 +37,13 @@
 // and "RANDOM" are baselines. MULTILEVEL (coarsen with heavy-edge
 // matching, spectral-solve the coarse graph, uncoarsen with KL
 // refinement) matches RSB's cut quality at a small fraction of its
-// cost and is the recommended default for large meshes; see
-// docs/ARCHITECTURE.md for the trade-offs. RegisterPartitioner links a
-// custom implementation under its own name.
+// cost and is the recommended default for large meshes; on machines
+// with more than one processor it coarsens distributedly over the
+// block-distributed GeoCoL graph, so — alone in the serial
+// connectivity family — its partitioning time keeps falling as
+// processors are added. See docs/ARCHITECTURE.md for the trade-offs.
+// RegisterPartitioner links a custom implementation under its own
+// name.
 package chaos
 
 import (

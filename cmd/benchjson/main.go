@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, so CI can archive one
+// BENCH_<sha>.json artifact per push and the repository accumulates a
+// machine-readable performance trajectory.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 5x -run '^$' ./... | benchjson -sha $GITHUB_SHA -o BENCH_$GITHUB_SHA.json
+//
+// Every benchmark line contributes one entry with its iteration count
+// and all reported metrics (ns/op, B/op, allocs/op, and custom metrics
+// such as the partitioner benches' part-ms). The goos/goarch/pkg/cpu
+// header lines annotate the entries; -sha (defaulting to $GITHUB_SHA)
+// stamps the document. With -o absent or "-", the JSON goes to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `BenchmarkXxx-N  runs  metrics...` line.
+type Benchmark struct {
+	Pkg     string             `json:"pkg,omitempty"`
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the archived JSON document.
+type Doc struct {
+	SHA        string      `json:"sha,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and collects the benchmark lines.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				doc.Benchmarks = append(doc.Benchmarks, *b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine splits "BenchmarkName-8  5  123 ns/op  4.5 part-ms"
+// into a Benchmark; lines without an iteration count (e.g. a benchmark
+// name echoed by -v) are skipped, not errors.
+func parseBenchLine(line, pkg string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, nil
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // "BenchmarkX" alone, or a failure marker
+	}
+	b := &Benchmark{Pkg: pkg, Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+func main() {
+	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha to stamp the document with")
+	out := flag.String("o", "-", "output file (\"-\" = stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc.SHA = *sha
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

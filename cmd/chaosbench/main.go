@@ -16,7 +16,10 @@
 // runs the MULTILEVEL partitioner (coarsen with heavy-edge matching,
 // spectral-solve the coarse graph, uncoarsen with KL refinement),
 // showing near-RSB executor times with the partitioner cost collapsed.
-// -crossover likewise includes MULTILEVEL in the amortization study.
+// On the multi-processor grids MULTILEVEL coarsens distributedly, so
+// its partitioner cell — unlike RSB's replicated solve — also shrinks
+// with the processor count. -crossover likewise includes MULTILEVEL in
+// the amortization study.
 package main
 
 import (

@@ -41,6 +41,11 @@ type Graph struct {
 	// duplicates and self-loops removed.
 	XAdj []int
 	Adj  []int
+	// EdgeW holds per-edge weights parallel to Adj; nil means unit
+	// weights. A CONSTRUCT-built graph is unweighted; coarse graphs
+	// built by BuildCoarse carry the aggregated multiplicity of the
+	// fine edges each coarse edge represents.
+	EdgeW []float64
 	// NEdges is the global undirected edge count after dedup.
 	NEdges int
 
@@ -212,10 +217,12 @@ type Full struct {
 	N                         int
 	HasLink, HasGeom, HasLoad bool
 	XAdj, Adj                 []int
-	Dim                       int
-	Coords                    [][]float64
-	Weights                   []float64
-	NEdges                    int
+	// EdgeW is the per-edge weight parallel to Adj (nil = unit).
+	EdgeW   []float64
+	Dim     int
+	Coords  [][]float64
+	Weights []float64
+	NEdges  int
 }
 
 // Gather assembles the complete GeoCoL graph on every rank;
@@ -240,6 +247,9 @@ func (g *Graph) Gather(c *machine.Ctx) *Full {
 			f.XAdj[v+1] = f.XAdj[v] + allDeg[v]
 		}
 		f.Adj = c.AllGatherInts(g.Adj)
+		if g.EdgeW != nil {
+			f.EdgeW = c.AllGatherFloats(g.EdgeW)
+		}
 	} else {
 		f.XAdj = make([]int, g.N+1)
 	}
@@ -372,4 +382,132 @@ func (ct *Contractor) grow(s *[]int, n int) []int {
 func Contract(xadj, adj []int, ew, w []float64, cmap []int, nc int) (cxadj, cadj []int, cew, cw []float64) {
 	var ct Contractor
 	return ct.Contract(xadj, adj, ew, w, cmap, nc)
+}
+
+// BuildCoarse is the distributed build path of the contraction: it
+// collectively contracts a block-distributed Graph under a clustering
+// without ever gathering it. cmap maps each of this rank's home-local
+// fine vertices to a global coarse vertex id in [0, coarseN); the
+// clustering may freely cross rank boundaries (a distributed matcher
+// assigns both endpoints of a matched edge the same coarse id).
+//
+// Every rank routes its fine vertex weights and fine edges to the BLOCK
+// owner of the coarse endpoint, where contributions from all ranks are
+// aggregated exactly as Contractor.Contract does serially: coarse
+// vertex weights are the global sums of their members' weights,
+// parallel fine edges between two clusters merge into one coarse edge
+// carrying the summed weight, and intra-cluster edges vanish. Because
+// the fine CSR is symmetric and both endpoint owners route every edge,
+// the coarse CSR comes out symmetric with identical weights on both
+// directions. Adjacency lists are sorted by neighbor id, making the
+// result independent of which ranks contributed which fine edges.
+//
+// The returned Graph is block-distributed over coarseN vertices and
+// always carries LOAD weights (the aggregated member weights) and
+// per-edge weights. ge must be the exchange pattern of g (the caller
+// built it for the matching phase already). Collective; communication
+// and assembly work are charged to the virtual clock.
+func BuildCoarse(c *machine.Ctx, g *Graph, ge *GhostExchange, cmap []int, coarseN int) *Graph {
+	me, procs := c.Rank(), c.Procs()
+	ghostC := ge.PushInts(c, cmap)
+
+	coarse := &Graph{
+		N: coarseN, Home: dist.NewBlock(coarseN, procs),
+		HasLink: true, HasLoad: true,
+	}
+	lo := g.Home.Lo(me)
+	localN := g.LocalN(me)
+
+	// Route (coarse id, weight) and (coarse src, coarse dst, weight) to
+	// the coarse owner of the (source) coarse vertex. Edge ids and edge
+	// weights travel in two parallel exchanges with matching order.
+	wIDs := make([][]int, procs)
+	wVals := make([][]float64, procs)
+	eIDs := make([][]int, procs)
+	eW := make([][]float64, procs)
+	for l := 0; l < localN; l++ {
+		cv := cmap[l]
+		r := coarse.Home.Owner(cv)
+		wIDs[r] = append(wIDs[r], cv)
+		wVals[r] = append(wVals[r], g.Weight(l))
+		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
+			u := g.Adj[k]
+			var cu int
+			if g.Home.Owner(u) == me {
+				cu = cmap[u-lo]
+			} else {
+				cu = ghostC[ge.Slot(u)]
+			}
+			if cu == cv {
+				continue // intra-cluster edge vanishes
+			}
+			w := 1.0
+			if g.EdgeW != nil {
+				w = g.EdgeW[k]
+			}
+			eIDs[r] = append(eIDs[r], cv, cu)
+			eW[r] = append(eW[r], w)
+		}
+	}
+	c.Words(2*len(g.Adj) + 2*localN)
+	inWIDs := c.AlltoAllInts(wIDs)
+	inWVals := c.AlltoAllFloats(wVals)
+	inEIDs := c.AlltoAllInts(eIDs)
+	inEW := c.AlltoAllFloats(eW)
+
+	lo2 := coarse.Home.Lo(me)
+	localN2 := coarse.Home.LocalSize(me)
+	coarse.Weights = make([]float64, localN2)
+	for r := 0; r < procs; r++ {
+		ids, vals := inWIDs[r], inWVals[r]
+		for i, cv := range ids {
+			coarse.Weights[cv-lo2] += vals[i]
+		}
+	}
+
+	// Assemble the local coarse CSR: collect contributions, sort by
+	// (local coarse vertex, neighbor), merge duplicates by summing.
+	type contrib struct {
+		l, u int
+		w    float64
+	}
+	var tris []contrib
+	for r := 0; r < procs; r++ {
+		ids, ws := inEIDs[r], inEW[r]
+		for i := 0; i+1 < len(ids); i += 2 {
+			tris = append(tris, contrib{ids[i] - lo2, ids[i+1], ws[i/2]})
+		}
+	}
+	sort.Slice(tris, func(a, b int) bool {
+		if tris[a].l != tris[b].l {
+			return tris[a].l < tris[b].l
+		}
+		return tris[a].u < tris[b].u
+	})
+	coarse.XAdj = make([]int, localN2+1)
+	// EdgeW stays non-nil even when this rank assembled no edges:
+	// Gather's EdgeW collective is gated on nil-ness, which must be
+	// rank-uniform in a bulk-synchronous machine.
+	coarse.EdgeW = make([]float64, 0, len(tris))
+	degSum := 0
+	for i := 0; i < len(tris); {
+		j := i
+		w := 0.0
+		for ; j < len(tris) && tris[j].l == tris[i].l && tris[j].u == tris[i].u; j++ {
+			w += tris[j].w
+		}
+		coarse.Adj = append(coarse.Adj, tris[i].u)
+		coarse.EdgeW = append(coarse.EdgeW, w)
+		coarse.XAdj[tris[i].l+1] = len(coarse.Adj)
+		degSum++
+		i = j
+	}
+	for l := 0; l < localN2; l++ {
+		if coarse.XAdj[l+1] < coarse.XAdj[l] {
+			coarse.XAdj[l+1] = coarse.XAdj[l]
+		}
+	}
+	c.Words(3 * len(tris))
+	coarse.NEdges = c.SumInt(degSum) / 2
+	return coarse
 }

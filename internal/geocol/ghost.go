@@ -1,0 +1,167 @@
+package geocol
+
+import (
+	"sort"
+
+	"chaos/internal/machine"
+)
+
+// GhostExchange precomputes the boundary-exchange pattern of a
+// block-distributed Graph: which of this rank's home vertices each
+// neighboring rank reads (their ghosts of ours) and which off-rank
+// vertices this rank reads (our ghosts). Because the CSR is symmetric —
+// every undirected edge is stored by both endpoint owners — rank A
+// needs a value for vertex u of rank B exactly when B needs to send it,
+// so the pattern can be derived locally with no negotiation round. The
+// Push methods then move one value per boundary vertex; distributed
+// partitioners call them once per matching round or refinement sweep.
+type GhostExchange struct {
+	// IDs holds the sorted global ids of this rank's ghost (off-rank
+	// neighbor) vertices; Push results are parallel to it.
+	IDs  []int
+	lo   int
+	slot map[int]int
+	// send[p] lists the home-local vertices rank p reads, ascending.
+	send [][]int
+	// recvStart[p] is the offset in IDs where rank p's vertices begin
+	// (IDs is sorted and the home distribution is BLOCK, so each rank's
+	// ghosts form one contiguous run).
+	recvStart []int
+}
+
+// NewGhostExchange derives the exchange pattern of g; purely local.
+func NewGhostExchange(c *machine.Ctx, g *Graph) *GhostExchange {
+	me, procs := c.Rank(), c.Procs()
+	ge := &GhostExchange{
+		lo:   g.Home.Lo(me),
+		slot: make(map[int]int),
+		send: make([][]int, procs),
+	}
+	localN := g.LocalN(me)
+	seen := make(map[int]bool)
+	for l := 0; l < localN; l++ {
+		for _, v := range g.Neighbors(l) {
+			r := g.Home.Owner(v)
+			if r == me {
+				continue
+			}
+			if !seen[v] {
+				seen[v] = true
+				ge.IDs = append(ge.IDs, v)
+			}
+			// l's ascend in the outer loop, so adjacent-duplicate
+			// suppression dedups each rank's send list.
+			if s := ge.send[r]; len(s) == 0 || s[len(s)-1] != l {
+				ge.send[r] = append(ge.send[r], l)
+			}
+		}
+	}
+	sort.Ints(ge.IDs)
+	ge.recvStart = make([]int, procs+1)
+	r := 0
+	for i, v := range ge.IDs {
+		ge.slot[v] = i
+		for owner := g.Home.Owner(v); r < owner; {
+			r++
+			ge.recvStart[r] = i
+		}
+	}
+	for ; r < procs; r++ {
+		ge.recvStart[r+1] = len(ge.IDs)
+	}
+	c.Words(localN + 2*len(ge.IDs))
+	return ge
+}
+
+// Slot returns the index in IDs of ghost vertex v (which must be a
+// ghost of this rank).
+func (ge *GhostExchange) Slot(v int) int { return ge.slot[v] }
+
+// PushInts exchanges one int per boundary vertex: vals is indexed by
+// home-local vertex, and the result is parallel to IDs. Collective.
+func (ge *GhostExchange) PushInts(c *machine.Ctx, vals []int) []int {
+	out := make([][]int, len(ge.send))
+	for r, ls := range ge.send {
+		if len(ls) == 0 {
+			continue
+		}
+		buf := make([]int, len(ls))
+		for i, l := range ls {
+			buf[i] = vals[l]
+		}
+		out[r] = buf
+	}
+	in := c.AlltoAllInts(out)
+	res := make([]int, len(ge.IDs))
+	for r, xs := range in {
+		copy(res[ge.recvStart[r]:ge.recvStart[r+1]], xs)
+	}
+	return res
+}
+
+// UpdateInts is the incremental form of PushInts: only home vertices
+// with changed[l] set are exchanged (as explicit (id, value) pairs),
+// and the receiver applies them in place to its ghost copy from an
+// earlier PushInts. When few values change per round — refinement
+// sweeps move a few percent of the boundary — this replaces a dense
+// boundary exchange with a near-empty one, which matters because the
+// dense exchange's byte volume is what keeps distributed coarsening
+// from scaling on heavily interleaved vertex distributions. Collective.
+func (ge *GhostExchange) UpdateInts(c *machine.Ctx, vals []int, changed []bool, ghost []int) {
+	out := make([][]int, len(ge.send))
+	for r, ls := range ge.send {
+		for _, l := range ls {
+			if changed[l] {
+				out[r] = append(out[r], ge.lo+l, vals[l])
+			}
+		}
+	}
+	in := c.AlltoAllInts(out)
+	for _, xs := range in {
+		for i := 0; i+1 < len(xs); i += 2 {
+			ghost[ge.slot[xs[i]]] = xs[i+1]
+		}
+	}
+}
+
+// PushMarks is the one-bit form of UpdateInts for monotone flags (a
+// matched vertex never unmatches): only the ids of newly marked home
+// vertices travel, and the receiver sets the corresponding ghost flags
+// to 1. Collective.
+func (ge *GhostExchange) PushMarks(c *machine.Ctx, changed []bool, ghost []int) {
+	out := make([][]int, len(ge.send))
+	for r, ls := range ge.send {
+		for _, l := range ls {
+			if changed[l] {
+				out[r] = append(out[r], ge.lo+l)
+			}
+		}
+	}
+	in := c.AlltoAllInts(out)
+	for _, xs := range in {
+		for _, id := range xs {
+			ghost[ge.slot[id]] = 1
+		}
+	}
+}
+
+// PushFloats is PushInts for float64 values.
+func (ge *GhostExchange) PushFloats(c *machine.Ctx, vals []float64) []float64 {
+	out := make([][]float64, len(ge.send))
+	for r, ls := range ge.send {
+		if len(ls) == 0 {
+			continue
+		}
+		buf := make([]float64, len(ls))
+		for i, l := range ls {
+			buf[i] = vals[l]
+		}
+		out[r] = buf
+	}
+	in := c.AlltoAllFloats(out)
+	res := make([]float64, len(ge.IDs))
+	for r, xs := range in {
+		copy(res[ge.recvStart[r]:ge.recvStart[r+1]], xs)
+	}
+	return res
+}

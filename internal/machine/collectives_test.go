@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAlltoAllIntsTable drives AlltoAllInts through the edge cases the
+// distributed coarsening path leans on: empty rows, self-sends only,
+// single-rank machines, and fully dense traffic.
+func TestAlltoAllIntsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+		// out(rank) builds the send matrix; want(rank) the expected
+		// receive matrix (nil rows mean empty).
+		out  func(rank, p int) [][]int
+		want func(rank, p int) [][]int
+	}{
+		{
+			name: "single rank self-send",
+			p:    1,
+			out: func(rank, p int) [][]int {
+				return [][]int{{7, 8, 9}}
+			},
+			want: func(rank, p int) [][]int {
+				return [][]int{{7, 8, 9}}
+			},
+		},
+		{
+			name: "single rank empty",
+			p:    1,
+			out: func(rank, p int) [][]int {
+				return make([][]int, 1)
+			},
+			want: func(rank, p int) [][]int {
+				return make([][]int, 1)
+			},
+		},
+		{
+			name: "all rows empty",
+			p:    4,
+			out: func(rank, p int) [][]int {
+				return make([][]int, p)
+			},
+			want: func(rank, p int) [][]int {
+				return make([][]int, p)
+			},
+		},
+		{
+			name: "self-sends only",
+			p:    4,
+			out: func(rank, p int) [][]int {
+				o := make([][]int, p)
+				o[rank] = []int{rank * 100}
+				return o
+			},
+			want: func(rank, p int) [][]int {
+				w := make([][]int, p)
+				w[rank] = []int{rank * 100}
+				return w
+			},
+		},
+		{
+			name: "one sender to all",
+			p:    3,
+			out: func(rank, p int) [][]int {
+				o := make([][]int, p)
+				if rank == 1 {
+					for d := 0; d < p; d++ {
+						o[d] = []int{10 + d}
+					}
+				}
+				return o
+			},
+			want: func(rank, p int) [][]int {
+				w := make([][]int, p)
+				w[1] = []int{10 + rank}
+				return w
+			},
+		},
+		{
+			name: "dense varying lengths",
+			p:    4,
+			out: func(rank, p int) [][]int {
+				o := make([][]int, p)
+				for d := 0; d < p; d++ {
+					for i := 0; i <= rank; i++ {
+						o[d] = append(o[d], rank*1000+d*10+i)
+					}
+				}
+				return o
+			},
+			want: func(rank, p int) [][]int {
+				w := make([][]int, p)
+				for s := 0; s < p; s++ {
+					for i := 0; i <= s; i++ {
+						w[s] = append(w[s], s*1000+rank*10+i)
+					}
+				}
+				return w
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Run(Zero(tc.p), func(c *Ctx) {
+				in := c.AlltoAllInts(tc.out(c.Rank(), tc.p))
+				want := tc.want(c.Rank(), tc.p)
+				for r := 0; r < tc.p; r++ {
+					if len(in[r]) == 0 && len(want[r]) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(in[r], want[r]) {
+						t.Errorf("rank %d from %d: got %v, want %v", c.Rank(), r, in[r], want[r])
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAlltoAllFloatsTable mirrors the int edge cases for the float
+// payload path.
+func TestAlltoAllFloatsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+		out  func(rank, p int) [][]float64
+		want func(rank, p int) [][]float64
+	}{
+		{
+			name: "single rank",
+			p:    1,
+			out: func(rank, p int) [][]float64 {
+				return [][]float64{{1.5}}
+			},
+			want: func(rank, p int) [][]float64 {
+				return [][]float64{{1.5}}
+			},
+		},
+		{
+			name: "empty rows and self-send",
+			p:    3,
+			out: func(rank, p int) [][]float64 {
+				o := make([][]float64, p)
+				o[rank] = []float64{float64(rank) + 0.25}
+				return o
+			},
+			want: func(rank, p int) [][]float64 {
+				w := make([][]float64, p)
+				w[rank] = []float64{float64(rank) + 0.25}
+				return w
+			},
+		},
+		{
+			name: "ring shift",
+			p:    4,
+			out: func(rank, p int) [][]float64 {
+				o := make([][]float64, p)
+				o[(rank+1)%p] = []float64{float64(rank)}
+				return o
+			},
+			want: func(rank, p int) [][]float64 {
+				w := make([][]float64, p)
+				w[(rank+p-1)%p] = []float64{float64((rank + p - 1) % p)}
+				return w
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Run(Zero(tc.p), func(c *Ctx) {
+				in := c.AlltoAllFloats(tc.out(c.Rank(), tc.p))
+				want := tc.want(c.Rank(), tc.p)
+				for r := 0; r < tc.p; r++ {
+					if len(in[r]) == 0 && len(want[r]) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(in[r], want[r]) {
+						t.Errorf("rank %d from %d: got %v, want %v", c.Rank(), r, in[r], want[r])
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAlltoAllPayloadReuse pins the copy contract: callers may mutate
+// their send buffers the moment AlltoAllInts returns, without
+// corrupting what other ranks received.
+func TestAlltoAllPayloadReuse(t *testing.T) {
+	const p = 4
+	err := Run(Zero(p), func(c *Ctx) {
+		buf := make([]int, 3)
+		out := make([][]int, p)
+		for d := 0; d < p; d++ {
+			out[d] = buf
+		}
+		for i := range buf {
+			buf[i] = c.Rank()*10 + i
+		}
+		in := c.AlltoAllInts(out)
+		for i := range buf {
+			buf[i] = -1 // scribble over the shared send buffer
+		}
+		c.Barrier()
+		for s := 0; s < p; s++ {
+			for i, v := range in[s] {
+				if v != s*10+i {
+					t.Errorf("rank %d from %d slot %d: got %d, want %d", c.Rank(), s, i, v, s*10+i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectivesStress hammers the full collective surface from every
+// rank concurrently for many generations. Its job is to give the race
+// detector (CI's `go test -race` gate) something to chew on: the
+// machine is goroutine-per-rank and every collective goes through the
+// shared rendezvous, so ordering bugs there surface here.
+func TestCollectivesStress(t *testing.T) {
+	const p = 8
+	const iters = 200
+	err := Run(Zero(p), func(c *Ctx) {
+		for it := 0; it < iters; it++ {
+			want := p * (p - 1) / 2
+			if s := c.SumInt(c.Rank()); s != want {
+				panic("bad SumInt")
+			}
+			out := make([][]int, p)
+			for d := 0; d < p; d++ {
+				out[d] = []int{c.Rank(), it}
+			}
+			in := c.AlltoAllInts(out)
+			for s := 0; s < p; s++ {
+				if in[s][0] != s || in[s][1] != it {
+					panic("bad AlltoAllInts payload")
+				}
+			}
+			if g := c.AllGatherInt(c.Rank() * it); g[p-1] != (p-1)*it {
+				panic("bad AllGatherInt")
+			}
+			bc := c.BroadcastInts(it%p, []int{it * 3})
+			if bc[0] != it*3 {
+				panic("bad BroadcastInts")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,13 +26,26 @@ import (
 // PARTITIONING phase — only ever runs on a graph of about CoarsenTo
 // vertices, so MULTILEVEL delivers near-RSB edge cuts at a small
 // fraction of RSB's cost (see partition/bench_test.go and
-// quality_test.go). Like RSB and KL it consumes LINK connectivity,
-// honors LOAD weights, and runs serially on the gathered graph with the
-// replicated-cost convention described on RSB.
+// quality_test.go). Like RSB and KL it consumes LINK connectivity and
+// honors LOAD weights.
+//
+// On a single rank (or below ParallelThreshold) the V-cycle runs
+// serially on the gathered graph with the replicated-cost convention
+// described on RSB. On larger machines the coarsening ladder instead
+// runs distributed over the block-distributed GeoCoL graph
+// (pmultilevel.go): only the coarsest level is gathered for the
+// spectral solve, so the partitioner's virtual time falls with the
+// rank count instead of staying flat.
 type Multilevel struct {
 	// CoarsenTo stops coarsening once a level has at most this many
 	// vertices (0 means the default of 100).
 	CoarsenTo int
+	// ParallelThreshold is the minimum global vertex count for the
+	// distributed coarsening path (pmultilevel.go), which is the
+	// default whenever the machine has more than one rank and the graph
+	// clears it. 0 means the default of 2048; negative forces the
+	// serial gather-everything path at any size.
+	ParallelThreshold int
 }
 
 func (Multilevel) Name() string { return "MULTILEVEL" }
@@ -41,6 +54,13 @@ func (ml Multilevel) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []in
 	checkArgs(g, nparts)
 	if !g.HasLink {
 		panic("partition: MULTILEVEL requires a GeoCoL LINK component")
+	}
+	thr := ml.ParallelThreshold
+	if thr == 0 {
+		thr = 2048
+	}
+	if c.Procs() > 1 && thr > 0 && g.N >= thr && g.N > ml.serialTo(nparts) {
+		return ml.parallelPartition(c, g, nparts)
 	}
 	return serialBisectPartition(c, g, nparts, ml.bisect)
 }

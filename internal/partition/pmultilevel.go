@@ -1,0 +1,275 @@
+package partition
+
+import (
+	"sort"
+
+	"chaos/internal/dist"
+	"chaos/internal/geocol"
+	"chaos/internal/machine"
+)
+
+// This file is the parallel V-cycle of the multilevel partitioner: the
+// coarsening ladder runs distributed over the simulated machine
+// (pcoarsen.go + geocol.BuildCoarse), only the coarsest level is
+// gathered for the serial spectral solve, and the k-way partition is
+// projected back up level by level with a distributed greedy boundary
+// refinement. Matching, contraction, projection and refinement all do
+// O(local graph) work per rank plus AlltoAll exchanges, so — unlike the
+// gather-everything serial path, whose replicated cost is flat in the
+// machine size — the partitioner's virtual time falls as ranks are
+// added (see TestParallelMultilevelTimeScales).
+
+// parallelPartition runs the distributed V-cycle. The ladder coarsens
+// until the graph fits the serial-solve threshold (or matching stalls),
+// the coarsest graph is handed to the existing serial recursive-
+// bisection V-cycle via serialBisectPartition — on a graph of a few
+// thousand vertices, whose replicated cost is negligible — and the
+// resulting part assignment is projected back through the distributed
+// levels, each polished with a distributed refinement pass.
+func (ml Multilevel) parallelPartition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
+	serialTo := ml.serialTo(nparts)
+
+	totalW := 0.0
+	for l := 0; l < g.LocalN(c.Rank()); l++ {
+		totalW += g.Weight(l)
+	}
+	totalW = c.SumFloat(totalW)
+	maxW := totalW * 0.01
+
+	// Coarsening ladder. Each entry keeps the fine graph and its
+	// fine-to-coarse map; the stall check stops when matching no longer
+	// shrinks the graph meaningfully.
+	type plevel struct {
+		fine   *geocol.Graph
+		ge     *geocol.GhostExchange
+		cmap   []int
+		coarse *geocol.Graph
+	}
+	var levels []plevel
+	cur := g
+	for cur.N > serialTo {
+		ge := geocol.NewGhostExchange(c, cur)
+		match := distHeavyEdgeMatch(c, cur, ge, maxW, uint64(len(levels))*0x2545f4914f6cdd1d+uint64(cur.N))
+		cmap, coarseN := numberCoarse(c, cur, match)
+		if coarseN*20 > cur.N*19 {
+			break
+		}
+		next := geocol.BuildCoarse(c, cur, ge, cmap, coarseN)
+		levels = append(levels, plevel{fine: cur, ge: ge, cmap: cmap, coarse: next})
+		cur = next
+	}
+
+	// Coarsest-level solve: the serial multilevel V-cycle on the
+	// gathered coarse graph (weighted vertices and edges preserve the
+	// fine graph's cut and balance exactly).
+	part := serialBisectPartition(c, cur, nparts, ml.bisect)
+
+	// Uncoarsening: pull each home vertex's part from its coarse
+	// vertex's owner, then refine the boundary distributedly.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		part = projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, part)
+		passes := 3
+		if i == 0 {
+			passes = 4
+		}
+		distRefine(c, lv.fine, lv.ge, part, nparts, passes)
+	}
+	return part
+}
+
+// serialTo returns the vertex count below which the ladder hands off to
+// the serial V-cycle: enough vertices that the serial stage's own
+// coarsening and per-level refinement recover near-serial cut quality,
+// scaled so every part keeps a meaningful share of the coarse graph.
+func (ml Multilevel) serialTo(nparts int) int {
+	coarsenTo := ml.CoarsenTo
+	if coarsenTo <= 0 {
+		coarsenTo = 100
+	}
+	serialTo := 16 * coarsenTo
+	if min := 8 * nparts; serialTo < min {
+		serialTo = min
+	}
+	return serialTo
+}
+
+// projectPart projects a coarse part assignment onto the fine level:
+// each rank requests the part of every coarse vertex its home vertices
+// map to from the coarse vertex's block owner (one request/reply
+// AlltoAll pair), then reads the fine assignment off cmap. Collective.
+func projectPart(c *machine.Ctx, fine *geocol.Graph, cmap []int, coarseHome dist.BlockDist, coarsePart []int) []int {
+	me, procs := c.Rank(), c.Procs()
+
+	need := append([]int(nil), cmap...)
+	sort.Ints(need)
+	need = dedupSorted(need)
+	req := make([][]int, procs)
+	for _, cv := range need {
+		r := coarseHome.Owner(cv)
+		req[r] = append(req[r], cv)
+	}
+	in := c.AlltoAllInts(req)
+	lo2 := coarseHome.Lo(me)
+	rep := make([][]int, procs)
+	for r := 0; r < procs; r++ {
+		for _, cv := range in[r] {
+			rep[r] = append(rep[r], coarsePart[cv-lo2])
+		}
+	}
+	back := c.AlltoAllInts(rep)
+	val := make(map[int]int, len(need))
+	for r := 0; r < procs; r++ {
+		for i, cv := range req[r] {
+			val[cv] = back[r][i]
+		}
+	}
+	part := make([]int, len(cmap))
+	for l, cv := range cmap {
+		part[l] = val[cv]
+	}
+	c.Words(2 * len(cmap))
+	return part
+}
+
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// distRefine is the distributed k-way boundary refinement run at each
+// uncoarsening level: every rank sweeps its home boundary vertices and
+// greedily moves each to the adjacent part with the best positive
+// edge-cut gain, subject to a balance window. Two guards keep the
+// concurrent greedy moves sane: a sub-pass direction rule (first only
+// moves toward higher part ids, then only toward lower) prevents two
+// neighboring vertices from swapping past each other in one sub-pass,
+// and per-rank weight budgets — each rank may spend at most 1/Procs of
+// a part's remaining balance headroom per sub-pass — bound the
+// overshoot of simultaneous moves into the same part. Part weights are
+// re-synchronized collectively after every sub-pass, and the pass loop
+// exits as soon as a full pass moves nothing anywhere. Collective and
+// deterministic.
+func distRefine(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int) {
+	const tol = 0.07
+	me, procs := c.Rank(), c.Procs()
+	lo := g.Home.Lo(me)
+	localN := g.LocalN(me)
+
+	partWeights := func() []float64 {
+		w := make([]float64, nparts)
+		for l := 0; l < localN; l++ {
+			w[part[l]] += g.Weight(l)
+		}
+		all := c.AllGatherFloats(w)
+		tot := make([]float64, nparts)
+		for i, v := range all {
+			tot[i%nparts] += v
+		}
+		return tot
+	}
+	W := partWeights()
+	totalW := 0.0
+	for _, w := range W {
+		totalW += w
+	}
+	ideal := totalW / float64(nparts)
+	maxA, minA := ideal*(1+tol), ideal*(1-tol)
+
+	acc := make([]float64, nparts) // edge weight toward each part
+	seen := make([]bool, nparts)
+	var touched []int
+
+	// The ghost part copy is pushed densely once; every later sub-pass
+	// only exchanges the vertices that actually moved (UpdateInts),
+	// which is a few percent of the boundary at most.
+	ghostPart := ge.PushInts(c, part)
+	movedFlag := make([]bool, localN)
+	first := true
+
+	for pass := 0; pass < passes; pass++ {
+		movedGlobal := 0
+		for dir := 0; dir < 2; dir++ {
+			if !first {
+				ge.UpdateInts(c, part, movedFlag, ghostPart)
+				for l := range movedFlag {
+					movedFlag[l] = false
+				}
+			}
+			first = false
+			addBudget := make([]float64, nparts)
+			subBudget := make([]float64, nparts)
+			for q := 0; q < nparts; q++ {
+				addBudget[q] = (maxA - W[q]) / float64(procs)
+				subBudget[q] = (W[q] - minA) / float64(procs)
+			}
+			moved := 0
+			for l := 0; l < localN; l++ {
+				p := part[l]
+				intW := 0.0
+				touched = touched[:0]
+				for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
+					u := g.Adj[k]
+					var q int
+					if g.Home.Owner(u) == me {
+						q = part[u-lo]
+					} else {
+						q = ghostPart[ge.Slot(u)]
+					}
+					ew := 1.0
+					if g.EdgeW != nil {
+						ew = g.EdgeW[k]
+					}
+					if q == p {
+						intW += ew
+						continue
+					}
+					if !seen[q] {
+						seen[q] = true
+						acc[q] = 0
+						touched = append(touched, q)
+					}
+					acc[q] += ew
+				}
+				if len(touched) > 0 {
+					w := g.Weight(l)
+					bestQ := -1
+					bestGain := 0.0
+					for _, q := range touched {
+						if dir == 0 && q < p || dir == 1 && q > p {
+							continue
+						}
+						gain := acc[q] - intW
+						if gain > bestGain || (gain == bestGain && bestQ >= 0 && q < bestQ) {
+							if addBudget[q] >= w {
+								bestQ, bestGain = q, gain
+							}
+						}
+					}
+					if bestQ >= 0 && bestGain > 0 && subBudget[p] >= w {
+						part[l] = bestQ
+						movedFlag[l] = true
+						addBudget[bestQ] -= w
+						subBudget[p] -= w
+						moved++
+					}
+					for _, q := range touched {
+						seen[q] = false
+					}
+				}
+			}
+			c.Flops(2*len(g.Adj) + localN)
+			W = partWeights()
+			movedGlobal += c.SumInt(moved)
+		}
+		if movedGlobal == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package partition
+
+// raceEnabled reports that the test binary was built with -race; see
+// race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package partition
+
+// raceEnabled reports that the test binary was built with -race.
+// Host-timing comparisons skip themselves under the race detector: its
+// instrumentation slows the refinement-heavy multilevel path more than
+// RSB's matvec loops, which skews wall-clock ratios without saying
+// anything about either partitioner.
+const raceEnabled = true

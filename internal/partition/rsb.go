@@ -120,9 +120,12 @@ func induce(f *geocol.Full, verts []int) *subgraph {
 	sg.w = make([]float64, sg.n)
 	for i, v := range verts {
 		sg.w[i] = f.Weight(v)
-		for _, u := range f.Neighbors(v) {
-			if j := local[u]; j >= 0 {
+		for k := f.XAdj[v]; k < f.XAdj[v+1]; k++ {
+			if j := local[f.Adj[k]]; j >= 0 {
 				sg.adj = append(sg.adj, j)
+				if f.EdgeW != nil {
+					sg.ew = append(sg.ew, f.EdgeW[k])
+				}
 			}
 		}
 		sg.xadj[i+1] = len(sg.adj)
