@@ -8,9 +8,9 @@ GO ?= go
 # coverage durably improves.
 COVER_FLOOR = 89.0
 
-.PHONY: check build vet lint test race cover cover-check bench bench-json quickstart tables examples
+.PHONY: check build vet lint test race cover cover-check bench bench-json quickstart tables examples docs-check
 
-check: build lint test
+check: build lint test docs-check
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,23 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 
-# examples runs the testable godoc examples of the public API.
+# examples runs the testable godoc examples of the public API and the
+# partitioner library.
 examples:
-	$(GO) test -run Example -v ./chaos
+	$(GO) test -run Example -v ./chaos ./internal/partition
+
+# docs-check is the documentation gate: the markdown link checker over
+# the README, docs/ and examples/ (cmd/docscheck: relative targets must
+# exist, anchors must name real headings) and a `go doc` rendering
+# smoke run over the packages with curated package documentation.
+# (Doc-comment hygiene itself is go vet's job, which lint already
+# runs.)
+docs-check:
+	$(GO) run ./cmd/docscheck README.md docs examples
+	@$(GO) doc ./internal/partition >/dev/null
+	@$(GO) doc ./internal/geocol >/dev/null
+	@$(GO) doc ./internal/partition Multilevel >/dev/null
+	@echo "docs-check OK"
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,182 @@
+// Command docscheck is the repository's markdown link checker: it
+// scans the given files and directories for .md files, extracts every
+// inline link and image, and verifies that relative targets exist on
+// disk and that fragment targets (#anchors) name a real heading in
+// the target file. External links (http, https, mailto) are not
+// fetched — CI must not depend on the network — only recognized and
+// skipped.
+//
+// Usage:
+//
+//	docscheck [path ...]
+//
+// Each path is a markdown file or a directory to walk. Exits 0 when
+// every link resolves, 1 with a "file:line: message" report per
+// broken link otherwise. `make docs-check` runs it over README.md,
+// docs/ and examples/ alongside a go-doc rendering smoke pass.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Nested brackets in the text are not supported; the
+// repository's docs do not use them.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	problems, err := check(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// check walks the given paths and returns one "file:line: message"
+// string per broken link, in deterministic (walk) order.
+func check(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.Walk(p, func(path string, fi os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !fi.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var problems []string
+	for _, f := range files {
+		ps, err := checkFile(f)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	return problems, nil
+}
+
+// checkFile verifies every link of one markdown file.
+func checkFile(file string) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	dir := filepath.Dir(file)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(dir, file, target); msg != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", file, i+1, msg))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkTarget validates one link target relative to the markdown file
+// it appears in; empty means the link resolves.
+func checkTarget(dir, file, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not fetched by design
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := file
+	if path != "" {
+		resolved = filepath.Join(dir, path)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // anchors into non-markdown files are not checkable
+	}
+	ok, err := hasAnchor(resolved, frag)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !ok {
+		return fmt.Sprintf("broken link %q: no heading for anchor #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style slug equals frag. Lines inside ``` fences are not
+// headings — a `# comment` in a fenced shell block must not satisfy
+// an anchor.
+func hasAnchor(file, frag string) (bool, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+	fenced := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if slug(heading) == strings.ToLower(frag) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// slug converts a heading to a GitHub-style anchor: trimmed,
+// lowercased, punctuation dropped, spaces and hyphens kept as
+// hyphens.
+func slug(heading string) string {
+	heading = strings.TrimSpace(strings.ToLower(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir, making parents as needed.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/GUIDE.md", "# Guide\n\n## Deep Dive\n\nSee [readme](../README.md) and [dive](#deep-dive).\n")
+	write(t, dir, "README.md", "# Top\n\n[guide](docs/GUIDE.md) and [section](docs/GUIDE.md#deep-dive)\nand [site](https://example.com) and ![img](docs/GUIDE.md)\n")
+	problems, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("clean tree reported problems: %v", problems)
+	}
+}
+
+func TestCheckBrokenLink(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", "intro\n\n[missing](docs/NOPE.md)\n")
+	problems, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("want exactly one problem, got %v", problems)
+	}
+	if !strings.Contains(problems[0], "README.md:3") || !strings.Contains(problems[0], "NOPE.md") {
+		t.Errorf("problem should name file, line and target: %q", problems[0])
+	}
+}
+
+func TestCheckBrokenAnchor(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.md", "# Real Heading\n")
+	write(t, dir, "b.md", "[x](a.md#real-heading)\n[y](a.md#fake-heading)\n[z](#also-fake)\n")
+	problems, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("want two anchor problems, got %v", problems)
+	}
+	for _, p := range problems {
+		if !strings.Contains(p, "fake") {
+			t.Errorf("unexpected problem %q", p)
+		}
+	}
+}
+
+func TestAnchorIgnoresFencedCode(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.md", "# Real\n\n```sh\n# fake heading\n```\n")
+	write(t, dir, "b.md", "[ok](a.md#real)\n[bad](a.md#fake-heading)\n")
+	problems, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "fake-heading") {
+		t.Fatalf("want one fenced-anchor problem, got %v", problems)
+	}
+}
+
+func TestCheckExplicitFileArg(t *testing.T) {
+	dir := t.TempDir()
+	md := write(t, dir, "solo.md", "[ok](solo.md)\n[bad](gone.md)\n")
+	problems, err := check([]string{md})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("want one problem, got %v", problems)
+	}
+}
+
+func TestCheckMissingPathErrors(t *testing.T) {
+	if _, err := check([]string{filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Fatal("nonexistent argument should error")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{" The refinement stack ", "the-refinement-stack"},
+		{"Tuning the multilevel partitioner", "tuning-the-multilevel-partitioner"},
+		{"Phase A — GeoCoL and the partitioner library (Sections 4.1–4.2)", "phase-a--geocol-and-the-partitioner-library-sections-4142"},
+	} {
+		if got := slug(tc.in); got != tc.want {
+			t.Errorf("slug(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

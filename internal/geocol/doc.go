@@ -1,0 +1,51 @@
+// Package geocol implements the GeoCoL (GEOmetry / COnnectivity /
+// Load) interface data structure of the paper's Section 4.1: the
+// standardized representation through which user programs hand
+// partitioners the information data partitioning is to be based on.
+//
+// A GeoCoL graph has N vertices (array indices) and any combination of
+//
+//   - LINK connectivity (graph edges linking vertices, e.g. the union
+//     of edges {ia(i), ib(i)} contributed by an irregular loop),
+//   - GEOMETRY (spatial coordinates per vertex, from mesh node
+//     positions), and
+//   - LOAD (per-vertex computational weight).
+//
+// # Public surface
+//
+// Build is the CONSTRUCT directive: collective, with the vertices
+// block-distributed over ranks (the initial default distribution of
+// the paper's Phase A) and the directive keywords supplied as Options
+// (WithLink, WithGeometry, WithLoad). The resulting Graph holds one
+// rank's slice — a deduplicated symmetric CSR plus coordinate and
+// weight columns — and Gather replicates it (Full) for partitioners
+// that run serially, charging the communication to the virtual clock.
+//
+// Three families of helpers serve the multilevel partitioner stack:
+//
+//   - Contractor/Contract build coarse graphs under a clustering,
+//     aggregating vertex weights, merging parallel edges and dropping
+//     intra-cluster edges; BuildCoarse is the distributed form,
+//     contracting a block-distributed Graph collectively without ever
+//     gathering it.
+//   - GhostExchange precomputes the boundary-exchange pattern of a
+//     distributed Graph — which home vertices each neighbor rank
+//     reads, derived locally thanks to the symmetric CSR — and moves
+//     one value per boundary vertex (PushInts/PushFloats), or only
+//     the changed ones (UpdateInts, PushMarks). UpdateIntsTouched
+//     additionally reports which ghost slots changed, which is what
+//     lets the parallel FM refiner maintain its gain and boundary
+//     caches incrementally instead of rescanning the ghost layer
+//     every round.
+//
+// # Guarantees pinned by tests
+//
+// geocol_test.go pins CONSTRUCT semantics (dedup, symmetry,
+// self-loop removal, directive validation) and Gather fidelity;
+// ghost_test.go pins the exchange pattern derivation, the dense and
+// incremental pushes, and the touched-slot report;
+// TestBuildCoarseMatchesSerialContract pins the distributed
+// contraction edge-for-edge against the serial Contractor. The
+// structure's role in the paper's pipeline is mapped in
+// docs/ARCHITECTURE.md.
+package geocol

@@ -1,19 +1,3 @@
-// Package geocol implements the GeoCoL (GEOmetry / COnnectivity / Load)
-// interface data structure of the paper's Section 4.1: the standardized
-// representation through which user programs hand partitioners the
-// information data partitioning is to be based on. A GeoCoL graph has N
-// vertices (array indices) and any combination of
-//
-//   - LINK connectivity (graph edges linking vertices, e.g. the union
-//     of edges {ia(i), ib(i)} contributed by an irregular loop),
-//   - GEOMETRY (spatial coordinates per vertex, from mesh node
-//     positions), and
-//   - LOAD (per-vertex computational weight).
-//
-// The structure is built collectively with the vertices block-
-// distributed over ranks (the initial default distribution of the
-// paper's Phase A), and can be gathered for partitioners that run
-// serially.
 package geocol
 
 import (

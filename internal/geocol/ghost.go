@@ -108,6 +108,18 @@ func (ge *GhostExchange) PushInts(c *machine.Ctx, vals []int) []int {
 // dense exchange's byte volume is what keeps distributed coarsening
 // from scaling on heavily interleaved vertex distributions. Collective.
 func (ge *GhostExchange) UpdateInts(c *machine.Ctx, vals []int, changed []bool, ghost []int) {
+	ge.UpdateIntsTouched(c, vals, changed, ghost)
+}
+
+// UpdateIntsTouched is UpdateInts returning the ghost slots whose value
+// actually changed, in ascending slot order. Receivers that maintain
+// incremental state keyed on ghost values — the parallel FM refiner
+// keeps per-vertex gain and boundary caches that are only invalidated
+// by a neighbor's part changing — use the touched list to reprocess
+// exactly the affected vertices instead of rescanning the whole ghost
+// layer every round. Collective; the returned slice is freshly
+// allocated (nil when nothing changed).
+func (ge *GhostExchange) UpdateIntsTouched(c *machine.Ctx, vals []int, changed []bool, ghost []int) []int {
 	out := make([][]int, len(ge.send))
 	for r, ls := range ge.send {
 		for _, l := range ls {
@@ -117,11 +129,20 @@ func (ge *GhostExchange) UpdateInts(c *machine.Ctx, vals []int, changed []bool, 
 		}
 	}
 	in := c.AlltoAllInts(out)
+	// Senders are visited in rank order and each rank's ids arrive
+	// ascending, so slots (contiguous per rank, ascending within) come
+	// out sorted without an explicit sort.
+	var touched []int
 	for _, xs := range in {
 		for i := 0; i+1 < len(xs); i += 2 {
-			ghost[ge.slot[xs[i]]] = xs[i+1]
+			s := ge.slot[xs[i]]
+			if ghost[s] != xs[i+1] {
+				ghost[s] = xs[i+1]
+				touched = append(touched, s)
+			}
 		}
 	}
+	return touched
 }
 
 // PushMarks is the one-bit form of UpdateInts for monotone flags (a

@@ -190,3 +190,63 @@ func TestBuildCoarseAggregatesWeights(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUpdateIntsTouched checks the incremental exchange's change
+// report: only slots whose ghost value actually changed are returned,
+// in ascending slot order, and re-sending an unchanged value reports
+// nothing.
+func TestUpdateIntsTouched(t *testing.T) {
+	const n, p = 12, 4
+	err := machine.Run(machine.Zero(p), func(c *machine.Ctx) {
+		e1, e2 := ringEdges(n, p, c.Rank())
+		g := Build(c, n, WithLink(e1, e2))
+		ge := NewGhostExchange(c, g)
+		localN := g.LocalN(c.Rank())
+		lo := g.Home.Lo(c.Rank())
+
+		vals := make([]int, localN)
+		for l := range vals {
+			vals[l] = lo + l
+		}
+		ghost := ge.PushInts(c, vals)
+
+		// Change every home value but mark only the first: exactly the
+		// ghosts of the first vertex of each block may change.
+		for l := range vals {
+			vals[l] += 100
+		}
+		changed := make([]bool, localN)
+		changed[0] = true
+		touched := ge.UpdateIntsTouched(c, vals, changed, ghost)
+		for i, s := range touched {
+			if i > 0 && touched[i-1] >= s {
+				t.Errorf("rank %d touched slots not ascending: %v", c.Rank(), touched)
+			}
+			id := ge.IDs[s]
+			if id != g.Home.Lo(g.Home.Owner(id)) {
+				t.Errorf("rank %d slot %d (vertex %d) touched but is not a block head", c.Rank(), s, id)
+			}
+			if ghost[s] != id+100 {
+				t.Errorf("rank %d ghost of %d = %d, want %d", c.Rank(), id, ghost[s], id+100)
+			}
+		}
+		// Every ghost that is a block head must have been reported.
+		want := 0
+		for _, id := range ge.IDs {
+			if id == g.Home.Lo(g.Home.Owner(id)) {
+				want++
+			}
+		}
+		if len(touched) != want {
+			t.Errorf("rank %d touched %d slots, want %d", c.Rank(), len(touched), want)
+		}
+
+		// Re-sending the same value is not a change.
+		if again := ge.UpdateIntsTouched(c, vals, changed, ghost); len(again) != 0 {
+			t.Errorf("rank %d unchanged resend reported touched slots %v", c.Rank(), again)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

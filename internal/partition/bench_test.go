@@ -151,3 +151,41 @@ func BenchmarkCoarsen(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelMultilevel8 exercises the distributed V-cycle
+// (parallel coarsening ladder + hill-climbing FM refinement,
+// pmultilevel.go/prefine.go) on the 20k-node mesh at eight simulated
+// ranks. ns/op includes the whole goroutine-per-rank simulation; the
+// custom metric reports the virtual partitioning seconds the paper's
+// tables would, which is the number TestParallelMultilevelTimeScales
+// pins against the serial path.
+func BenchmarkParallelMultilevel8(b *testing.B) {
+	m := bigMesh()
+	pt, err := Lookup("MULTILEVEL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const p = 8
+	b.ResetTimer()
+	var virtual float64
+	for i := 0; i < b.N; i++ {
+		err := machine.Run(machine.IPSC860(p), func(c *machine.Ctx) {
+			eb := m.NEdge() / p
+			elo, ehi := c.Rank()*eb, (c.Rank()+1)*eb
+			if c.Rank() == p-1 {
+				ehi = m.NEdge()
+			}
+			g := geocol.Build(c, m.NNode, geocol.WithLink(m.E1[elo:ehi], m.E2[elo:ehi]))
+			t0 := c.Clock()
+			pt.Partition(c, g, p)
+			dt := c.MaxFloat(c.Clock() - t0)
+			if c.Rank() == 0 {
+				virtual = dt
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(virtual, "virtual-s")
+}

@@ -34,8 +34,12 @@ import (
 // described on RSB. On larger machines the coarsening ladder instead
 // runs distributed over the block-distributed GeoCoL graph
 // (pmultilevel.go): only the coarsest level is gathered for the
-// spectral solve, so the partitioner's virtual time falls with the
-// rank count instead of staying flat.
+// spectral solve, and the uncoarsening is refined by the
+// hill-climbing parallel FM of prefine.go, so the partitioner's
+// virtual time falls with the rank count instead of staying flat
+// while the cut stays within 5% of the serial V-cycle's. The
+// refinement stack and its tuning knobs are toured in
+// docs/REFINEMENT.md.
 type Multilevel struct {
 	// CoarsenTo stops coarsening once a level has at most this many
 	// vertices (0 means the default of 100).
@@ -46,6 +50,20 @@ type Multilevel struct {
 	// clears it. 0 means the default of 2048; negative forces the
 	// serial gather-everything path at any size.
 	ParallelThreshold int
+	// FMPasses is the per-level pass budget of the hill-climbing
+	// parallel FM refiner used during distributed uncoarsening
+	// (prefine.go). 0 means the default (3 passes, 4 at the finest
+	// level); negative selects the legacy greedy refiner (distRefine)
+	// with its larger 16×CoarsenTo serial handoff.
+	FMPasses int
+	// VCycle enables a second, partition-preserving V-cycle after
+	// uncoarsening (vcycleRefine): the refined partition is coarsened
+	// again with matching restricted to same-part pairs and refined at
+	// every scale on the way back up. A small cut improvement for
+	// roughly double the distributed partitioning cost; off by
+	// default. Only effective in the FM configuration — with
+	// FMPasses < 0 (legacy greedy refiner) the knob is ignored.
+	VCycle bool
 }
 
 func (Multilevel) Name() string { return "MULTILEVEL" }
@@ -55,14 +73,19 @@ func (ml Multilevel) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []in
 	if !g.HasLink {
 		panic("partition: MULTILEVEL requires a GeoCoL LINK component")
 	}
-	thr := ml.ParallelThreshold
-	if thr == 0 {
-		thr = 2048
-	}
+	thr := ml.parallelThreshold()
 	if c.Procs() > 1 && thr > 0 && g.N >= thr && g.N > ml.serialTo(nparts) {
 		return ml.parallelPartition(c, g, nparts)
 	}
 	return serialBisectPartition(c, g, nparts, ml.bisect)
+}
+
+// parallelThreshold resolves the ParallelThreshold default.
+func (ml Multilevel) parallelThreshold() int {
+	if ml.ParallelThreshold == 0 {
+		return 2048
+	}
+	return ml.ParallelThreshold
 }
 
 // bisect runs one coarsen → spectral-bisect → uncoarsen+refine V-cycle

@@ -44,9 +44,12 @@ func runParallelML(t *testing.T, m *mesh.Mesh, p, nparts int) (virtual float64, 
 // on a >=20k-node mesh the distributed coarsening path's virtual
 // (simulated) partitioning time must strictly decrease from P=1 (the
 // serial gather-everything V-cycle) through P=8, while every parallel
-// cut stays within 1.15x of the serial MULTILEVEL cut. This is exactly
-// the scaling the serial path cannot deliver: its replicated cost is
-// flat in the machine size by construction.
+// cut stays within 1.05x of the serial MULTILEVEL cut — tightened from
+// the 1.15x the greedy refiner could manage, now that the uncoarsening
+// runs the hill-climbing parallel FM (prefine.go) and the serial
+// handoff sits at the ParallelThreshold knee. This is exactly the
+// scaling the serial path cannot deliver: its replicated cost is flat
+// in the machine size by construction.
 func TestParallelMultilevelTimeScales(t *testing.T) {
 	if testing.Short() {
 		t.Skip("21952-node mesh partitioned at four machine sizes")
@@ -68,8 +71,8 @@ func TestParallelMultilevelTimeScales(t *testing.T) {
 	}
 	serialCut := cuts[0]
 	for i := 1; i < len(procs); i++ {
-		if float64(cuts[i]) > 1.15*float64(serialCut) {
-			t.Errorf("P=%d cut %d exceeds serial MULTILEVEL cut %d by more than 15%%",
+		if float64(cuts[i]) > 1.05*float64(serialCut) {
+			t.Errorf("P=%d cut %d exceeds serial MULTILEVEL cut %d by more than 5%%",
 				procs[i], cuts[i], serialCut)
 		}
 	}

@@ -1,14 +1,3 @@
-// Package partition provides the library of data partitioners the
-// paper's SET ... BY PARTITIONING ... USING directive selects from
-// (Section 4.2: "The user will be provided a library of commonly
-// available partitioners"), plus a registry so user code can link a
-// customized partitioner as long as the calling sequence matches.
-//
-// Every partitioner consumes a GeoCoL data structure and produces a map
-// array: for each vertex, the part (target processor) in [0, nparts).
-// Partitioners are collective: each rank passes its home-resident slice
-// of the GeoCoL graph and receives the part assignment for exactly
-// those vertices.
 package partition
 
 import (

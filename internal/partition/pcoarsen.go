@@ -35,10 +35,15 @@ const matchRounds = 4
 // disables the cap), keeping coarse vertices small enough for the
 // coarsest-level balance slack, exactly like the serial matcher.
 //
+// When part is non-nil the matching is RESTRICTED to same-part pairs
+// (ghostPart must be the ghost copy of part): the resulting clustering
+// preserves the partition, which is what multilevel V-cycle refinement
+// coarsens with (pmultilevel.go vcycleRefine).
+//
 // Returns match[l] = global id of home-local vertex l's partner, or -1
 // for vertices left as singletons. Collective and deterministic: the
 // rounds are bulk-synchronous and every tie-break is seeded.
-func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, maxW float64, seed uint64) []int {
+func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, maxW float64, seed uint64, part, ghostPart []int) []int {
 	me, procs := c.Rank(), c.Procs()
 	lo := g.Home.Lo(me)
 	localN := g.LocalN(me)
@@ -103,6 +108,17 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 				}
 				if uTaken {
 					continue
+				}
+				if part != nil {
+					var q int
+					if g.Home.Owner(u) == me {
+						q = part[u-lo]
+					} else {
+						q = ghostPart[ge.Slot(u)]
+					}
+					if q != part[l] {
+						continue // restricted matching stays inside parts
+					}
 				}
 				if maxW > 0 && homeW[l]+uw > maxW {
 					continue

@@ -11,21 +11,35 @@ import (
 // This file is the parallel V-cycle of the multilevel partitioner: the
 // coarsening ladder runs distributed over the simulated machine
 // (pcoarsen.go + geocol.BuildCoarse), only the coarsest level is
-// gathered for the serial spectral solve, and the k-way partition is
-// projected back up level by level with a distributed greedy boundary
-// refinement. Matching, contraction, projection and refinement all do
-// O(local graph) work per rank plus AlltoAll exchanges, so — unlike the
-// gather-everything serial path, whose replicated cost is flat in the
-// machine size — the partitioner's virtual time falls as ranks are
-// added (see TestParallelMultilevelTimeScales).
+// gathered for the serial spectral solve (plus a k-way FM polish), and
+// the k-way partition is projected back up level by level with the
+// hill-climbing distributed FM refinement of prefine.go. Matching,
+// contraction, projection and refinement all do O(local graph) work
+// per rank plus AlltoAll exchanges, so — unlike the gather-everything
+// serial path, whose replicated cost is flat in the machine size — the
+// partitioner's virtual time falls as ranks are added (see
+// TestParallelMultilevelTimeScales). docs/REFINEMENT.md is the guided
+// tour of the refinement stack.
+
+// plevel is one level of a distributed coarsening ladder: the fine
+// graph, its ghost-exchange pattern, the fine-to-coarse map, and the
+// coarse graph it contracts to.
+type plevel struct {
+	fine   *geocol.Graph
+	ge     *geocol.GhostExchange
+	cmap   []int
+	coarse *geocol.Graph
+}
 
 // parallelPartition runs the distributed V-cycle. The ladder coarsens
-// until the graph fits the serial-solve threshold (or matching stalls),
-// the coarsest graph is handed to the existing serial recursive-
-// bisection V-cycle via serialBisectPartition — on a graph of a few
-// thousand vertices, whose replicated cost is negligible — and the
+// until the graph fits the serial-solve handoff (or matching stalls),
+// the coarsest graph is handed to the serial recursive-bisection
+// V-cycle via serialBisectPartition and polished k-way — on a graph
+// below ParallelThreshold, whose replicated cost is small — and the
 // resulting part assignment is projected back through the distributed
-// levels, each polished with a distributed refinement pass.
+// levels, each refined in place (refineLevel). With VCycle set, a
+// second, partition-preserving ladder re-coarsens the refined
+// partition and refines it again at every scale (vcycleRefine).
 func (ml Multilevel) parallelPartition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	serialTo := ml.serialTo(nparts)
 
@@ -36,58 +50,179 @@ func (ml Multilevel) parallelPartition(c *machine.Ctx, g *geocol.Graph, nparts i
 	totalW = c.SumFloat(totalW)
 	maxW := totalW * 0.01
 
-	// Coarsening ladder. Each entry keeps the fine graph and its
-	// fine-to-coarse map; the stall check stops when matching no longer
-	// shrinks the graph meaningfully.
-	type plevel struct {
-		fine   *geocol.Graph
-		ge     *geocol.GhostExchange
-		cmap   []int
-		coarse *geocol.Graph
+	levels, cur, _ := buildLadder(c, g, serialTo, maxW, 0, nil)
+
+	// Coarsest-level solve: the serial multilevel V-cycle on the
+	// gathered coarse graph (weighted vertices and edges preserve the
+	// fine graph's cut and balance exactly), followed by a k-way FM
+	// polish — the recursive bisection only ever refined 2-way inside
+	// each split, the polish is nearly free on the already-small graph,
+	// and every edge it removes is an edge no uncoarsening level has to
+	// fight for.
+	part := serialBisectPartition(c, cur, nparts, ml.bisect)
+	if ml.FMPasses >= 0 {
+		serialKway(c, cur, part, nparts, 8)
 	}
+
+	// Uncoarsening: pull each home vertex's part from its coarse
+	// vertex's owner, then refine each level in place.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		part = projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, part)
+		ml.refineLevel(c, lv.fine, lv.ge, part, nparts, i == 0)
+	}
+
+	if ml.VCycle && ml.FMPasses >= 0 {
+		ml.vcycleRefine(c, g, part, nparts, serialTo, maxW)
+	}
+	return part
+}
+
+// buildLadder builds a distributed coarsening ladder from g down to
+// serialTo vertices (or until matching stalls). When part is non-nil
+// the matching is restricted to same-part pairs — the ladder then
+// PRESERVES the partition, which is what vcycleRefine coarsens with —
+// and the partition is carried down the ladder (the third return value
+// is the coarsest level's copy; nil in the unrestricted case). seedBase
+// salts the tie-breaking so distinct ladders of one Partition call
+// decorrelate. Collective.
+func buildLadder(c *machine.Ctx, g *geocol.Graph, serialTo int, maxW float64, seedBase uint64, part []int) ([]plevel, *geocol.Graph, []int) {
 	var levels []plevel
-	cur := g
+	cur, curPart := g, part
 	for cur.N > serialTo {
 		ge := geocol.NewGhostExchange(c, cur)
-		match := distHeavyEdgeMatch(c, cur, ge, maxW, uint64(len(levels))*0x2545f4914f6cdd1d+uint64(cur.N))
+		var curGhost []int
+		if curPart != nil {
+			curGhost = ge.PushInts(c, curPart)
+		}
+		seed := seedBase + uint64(len(levels))*0x2545f4914f6cdd1d + uint64(cur.N)
+		match := distHeavyEdgeMatch(c, cur, ge, maxW, seed, curPart, curGhost)
 		cmap, coarseN := numberCoarse(c, cur, match)
 		if coarseN*20 > cur.N*19 {
 			break
 		}
 		next := geocol.BuildCoarse(c, cur, ge, cmap, coarseN)
 		levels = append(levels, plevel{fine: cur, ge: ge, cmap: cmap, coarse: next})
+		if curPart != nil {
+			curPart = restrictPart(c, cur, cmap, next.Home, curPart)
+		}
 		cur = next
 	}
-
-	// Coarsest-level solve: the serial multilevel V-cycle on the
-	// gathered coarse graph (weighted vertices and edges preserve the
-	// fine graph's cut and balance exactly).
-	part := serialBisectPartition(c, cur, nparts, ml.bisect)
-
-	// Uncoarsening: pull each home vertex's part from its coarse
-	// vertex's owner, then refine the boundary distributedly.
-	for i := len(levels) - 1; i >= 0; i-- {
-		lv := levels[i]
-		part = projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, part)
-		passes := 3
-		if i == 0 {
-			passes = 4
-		}
-		distRefine(c, lv.fine, lv.ge, part, nparts, passes)
-	}
-	return part
+	return levels, cur, curPart
 }
 
-// serialTo returns the vertex count below which the ladder hands off to
-// the serial V-cycle: enough vertices that the serial stage's own
-// coarsening and per-level refinement recover near-serial cut quality,
-// scaled so every part keeps a meaningful share of the coarse graph.
+// refineLevel refines one uncoarsening level in place: the
+// hill-climbing parallel FM (prefine.go) by default, the legacy greedy
+// positive-gain pass (distRefine) when FMPasses is negative. Interior
+// levels get a reduced pass budget — their boundary is re-refined at
+// every finer level — while the finest level gets the full one.
+func (ml Multilevel) refineLevel(c *machine.Ctx, fine *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts int, finest bool) {
+	passes := 3
+	if finest {
+		passes = 4
+	}
+	if ml.FMPasses > 0 {
+		passes = ml.FMPasses
+	}
+	if ml.FMPasses < 0 {
+		distRefine(c, fine, ge, part, nparts, passes)
+	} else {
+		parallelFM(c, fine, ge, part, nparts, passes)
+	}
+}
+
+// serialKway gathers a sub-threshold graph and refines its partition
+// with the serial k-way FM (kwayRefine), computed identically on every
+// rank under the replicated-cost convention; each rank then keeps its
+// home slice of the result. Collective.
+func serialKway(c *machine.Ctx, g *geocol.Graph, part []int, nparts, passes int) {
+	f := g.Gather(c)
+	full := c.AllGatherInts(part)
+	c.Flops(int(kwayRefine(f.XAdj, f.Adj, f.EdgeW, f.Weights, full, nparts, passes)))
+	lo := g.Home.Lo(c.Rank())
+	for l := range part {
+		part[l] = full[lo+l]
+	}
+}
+
+// vcycleRefine is multilevel V-cycle refinement (the kMETIS/ParMETIS
+// trick for escaping single-level local minima): coarsen the graph
+// AGAIN with matching restricted to same-part pairs, so every level of
+// the new ladder inherits the current partition exactly, then refine
+// back up through the levels. At coarse levels a single FM move
+// transfers a whole cluster of fine vertices between parts — the
+// global moves plain boundary refinement cannot compose — and the
+// gathered coarsest level gets exact serial treatment. The refined
+// partition is written back into part. Roughly doubles the
+// partitioner's distributed cost for a small cut improvement, which is
+// why it sits behind the VCycle knob. Collective.
+func (ml Multilevel) vcycleRefine(c *machine.Ctx, g *geocol.Graph, part []int, nparts, serialTo int, maxW float64) {
+	levels, cur, cpart := buildLadder(c, g, serialTo, maxW, 0x9e3779b97f4a7c15, part)
+	if len(levels) == 0 {
+		return
+	}
+	if cur.N < ml.parallelThreshold() {
+		serialKway(c, cur, cpart, nparts, 8)
+	} else {
+		parallelFM(c, cur, geocol.NewGhostExchange(c, cur), cpart, nparts, 3)
+	}
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		next := projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, cpart)
+		ml.refineLevel(c, lv.fine, lv.ge, next, nparts, i == 0)
+		cpart = next
+	}
+	copy(part, cpart)
+}
+
+// restrictPart restricts a fine partition onto the coarse level of a
+// partition-preserving ladder: every member of a coarse cluster holds
+// the same part, so each rank routes one (coarse id, part) pair per
+// home fine vertex to the coarse owner. Collective.
+func restrictPart(c *machine.Ctx, fine *geocol.Graph, cmap []int, coarseHome dist.BlockDist, finePart []int) []int {
+	me, procs := c.Rank(), c.Procs()
+	out := make([][]int, procs)
+	for l, cv := range cmap {
+		r := coarseHome.Owner(cv)
+		out[r] = append(out[r], cv, finePart[l])
+	}
+	in := c.AlltoAllInts(out)
+	lo2 := coarseHome.Lo(me)
+	cpart := make([]int, coarseHome.LocalSize(me))
+	for r := 0; r < procs; r++ {
+		xs := in[r]
+		for i := 0; i+1 < len(xs); i += 2 {
+			cpart[xs[i]-lo2] = xs[i+1]
+		}
+	}
+	c.Words(2 * len(cmap))
+	return cpart
+}
+
+// serialTo returns the vertex count below which the ladder hands off
+// to the serial stage. For the FM configuration the handoff is
+// 8×CoarsenTo floored by ParallelThreshold: a graph below the
+// threshold is, by the dispatch rule in Partition, too small to be
+// worth distributing at all, so the ladder stops there and the serial
+// solve (plus k-way polish) takes over — empirically the quality knee:
+// handing off smaller graphs loses more cut in the solve's seed than
+// any amount of distributed refinement wins back (docs/REFINEMENT.md
+// records the measurements). The legacy greedy configuration
+// (FMPasses < 0) keeps its original 16×CoarsenTo handoff.
 func (ml Multilevel) serialTo(nparts int) int {
 	coarsenTo := ml.CoarsenTo
 	if coarsenTo <= 0 {
 		coarsenTo = 100
 	}
-	serialTo := 16 * coarsenTo
+	var serialTo int
+	if ml.FMPasses < 0 {
+		serialTo = 16 * coarsenTo
+	} else {
+		serialTo = 8 * coarsenTo
+		if thr := ml.parallelThreshold(); serialTo < thr {
+			serialTo = thr
+		}
+	}
 	if min := 8 * nparts; serialTo < min {
 		serialTo = min
 	}

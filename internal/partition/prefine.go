@@ -1,0 +1,649 @@
+package partition
+
+import (
+	"math"
+
+	"chaos/internal/geocol"
+	"chaos/internal/machine"
+)
+
+// This file is the hill-climbing parallel FM refiner of the distributed
+// V-cycle (pmultilevel.go) — the ParMETIS-style move/commit/undo
+// protocol that replaced the greedy positive-gain pass (distRefine) as
+// the default uncoarsening refiner. Each pass runs a fixed number of
+// bulk-synchronous sub-iterations; per sub-iteration every rank
+//
+//  1. selects moves for its boundary vertices from per-rank gain
+//     buckets, highest gain first, spending a bounded budget of
+//     NEGATIVE-gain moves once the positive ones are exhausted (the
+//     hill-climbing step plain greedy refinement cannot take),
+//  2. applies the moves speculatively — concurrent moves on other
+//     ranks may invalidate the computed gains — and
+//  3. resolves the conflicts in one batch: the moved parts are
+//     exchanged through geocol.GhostExchange (UpdateIntsTouched), the
+//     exact global cut is measured collectively, and the sub-iteration
+//     boundary becomes a consistent global snapshot.
+//
+// Because every sub-iteration boundary is a snapshot whose exact cut
+// all ranks agree on, rollback is sound and cheap: each rank records
+// its local move log position at the best cut seen, and when a pass
+// ends above that cut every rank undoes its own moves past the
+// checkpoint, which restores precisely the best-seen global partition.
+// Mispredicted speculative moves are therefore never committed — they
+// either get repaired by later sub-iterations or rolled back.
+//
+// All local work after the first scan is proportional to the boundary
+// and to what changed: gains and cut contributions are cached per
+// vertex and only vertices adjacent to a move (local, or remote via
+// the touched-slot list) are rescanned. See docs/REFINEMENT.md for the
+// protocol diagram and tuning guidance.
+
+// fmSubIters is the number of bulk-synchronous sub-iterations per FM
+// pass: three direction pairs, mirroring the alternating direction
+// rule of distRefine (even sub-iterations move toward higher part
+// ids only, odd toward lower), which prevents neighboring vertices
+// from swapping past each other inside one batch.
+const fmSubIters = 6
+
+// fmMove is one entry of the per-rank move log: enough to undo the
+// move during rollback.
+type fmMove struct {
+	l    int // home-local vertex
+	from int // part it left
+}
+
+// fmCand is one speculative move candidate in the gain buckets. An
+// entry is a snapshot: when the vertex's cached gain changes a fresh
+// entry is pushed and stale ones are detected on pop by comparing
+// stamps.
+type fmCand struct {
+	l     int
+	to    int
+	gain  float64
+	stamp int
+}
+
+// fmBuckets holds move candidates bucketed by integer-floored gain —
+// the classic FM gain-bucket array. Coarse-graph edge weights are
+// aggregated fine-edge multiplicities (integers), so the flooring is
+// exact in practice; candidates within one bucket pop in push order,
+// which is deterministic because selection scans vertices in ascending
+// local id. Gains outside ±fmBucketSpan clamp to the end buckets.
+type fmBuckets struct {
+	buckets [][]fmCand
+	hi      int // highest possibly-non-empty bucket index
+	n       int // live entry count (including stale)
+}
+
+const fmBucketSpan = 64
+
+func newFMBuckets() *fmBuckets {
+	return &fmBuckets{buckets: make([][]fmCand, 2*fmBucketSpan+1), hi: 0}
+}
+
+func fmBucketIndex(gain float64) int {
+	b := int(math.Floor(gain))
+	if b > fmBucketSpan {
+		b = fmBucketSpan
+	}
+	if b < -fmBucketSpan {
+		b = -fmBucketSpan
+	}
+	return b + fmBucketSpan
+}
+
+func (fb *fmBuckets) push(cand fmCand) {
+	b := fmBucketIndex(cand.gain)
+	fb.buckets[b] = append(fb.buckets[b], cand)
+	if b > fb.hi {
+		fb.hi = b
+	}
+	fb.n++
+}
+
+// pop returns the highest-gain candidate, or false when empty.
+func (fb *fmBuckets) pop() (fmCand, bool) {
+	for fb.hi >= 0 {
+		if b := fb.buckets[fb.hi]; len(b) > 0 {
+			cand := b[0]
+			fb.buckets[fb.hi] = b[1:]
+			fb.n--
+			return cand, true
+		}
+		fb.buckets[fb.hi] = nil
+		fb.hi--
+	}
+	return fmCand{}, false
+}
+
+func (fb *fmBuckets) reset() {
+	for i := range fb.buckets {
+		fb.buckets[i] = nil
+	}
+	fb.hi = 0
+	fb.n = 0
+}
+
+// kwayRefine is the serial k-way FM refiner run (replicated) on
+// gathered coarse levels below ParallelThreshold, where each rank's
+// slice is too small for distributed hill climbs to gain traction and
+// the gather is cheap. It is klRefine generalized to k parts on the
+// same fmBuckets structure the distributed refiner uses: pop the best
+// move (any adjacent part, no direction rule — the serial view is
+// exact), allow negative-gain moves, keep the best prefix, roll the
+// tail back. Deterministic: every rank computing it on identical
+// inputs produces the identical partition. Returns the flop count to
+// charge.
+func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int) int64 {
+	const tol = 0.07
+	const plateau = 64
+	n := len(xadj) - 1
+	weight := func(v int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[v]
+	}
+	ewt := func(k int) float64 {
+		if ew == nil {
+			return 1
+		}
+		return ew[k]
+	}
+
+	W := make([]float64, nparts)
+	totalW := 0.0
+	for v := 0; v < n; v++ {
+		W[part[v]] += weight(v)
+		totalW += weight(v)
+	}
+	ideal := totalW / float64(nparts)
+	maxA, minA := ideal*(1+tol), ideal*(1-tol)
+
+	acc := make([]float64, nparts)
+	seen := make([]bool, nparts)
+	var touchedParts []int
+	stamp := make([]int, n)
+	fb := newFMBuckets()
+	locked := make([]bool, n)
+	var scanned int64
+
+	candidate := func(v int) (to int, gain float64, ok bool) {
+		p := part[v]
+		intW := 0.0
+		touchedParts = touchedParts[:0]
+		for k := xadj[v]; k < xadj[v+1]; k++ {
+			q := part[adj[k]]
+			wk := ewt(k)
+			if q == p {
+				intW += wk
+				continue
+			}
+			if !seen[q] {
+				seen[q] = true
+				acc[q] = 0
+				touchedParts = append(touchedParts, q)
+			}
+			acc[q] += wk
+		}
+		scanned += int64(xadj[v+1] - xadj[v])
+		best, bestGain := -1, math.Inf(-1)
+		for _, q := range touchedParts {
+			seen[q] = false
+			if gq := acc[q] - intW; gq > bestGain || (gq == bestGain && q < best) {
+				best, bestGain = q, gq
+			}
+		}
+		if best < 0 {
+			return 0, 0, false
+		}
+		return best, bestGain, true
+	}
+
+	var log []fmMove
+	var blocked []fmCand
+	for pass := 0; pass < passes; pass++ {
+		fb.reset()
+		for v := 0; v < n; v++ {
+			locked[v] = false
+			if to, gain, ok := candidate(v); ok {
+				stamp[v]++
+				fb.push(fmCand{l: v, to: to, gain: gain, stamp: stamp[v]})
+			}
+		}
+		log = log[:0]
+		blocked = blocked[:0]
+		cum, bestCum, bestAt := 0.0, 0.0, 0
+		for {
+			cand, ok := fb.pop()
+			if !ok {
+				break
+			}
+			v := cand.l
+			if cand.stamp != stamp[v] || locked[v] {
+				continue
+			}
+			if cand.gain <= 0 && len(log)-bestAt >= plateau {
+				break
+			}
+			p, wv := part[v], weight(v)
+			if W[cand.to]+wv > maxA || W[p]-wv < minA {
+				// Balance-blocked, not dead: re-offered after the next
+				// committed move frees headroom (klRefine's stash).
+				blocked = append(blocked, cand)
+				continue
+			}
+			part[v] = cand.to
+			locked[v] = true
+			W[cand.to] += wv
+			W[p] -= wv
+			log = append(log, fmMove{l: v, from: p})
+			cum += cand.gain
+			if cum > bestCum {
+				bestCum, bestAt = cum, len(log)
+			}
+			for _, bc := range blocked {
+				fb.push(bc)
+			}
+			blocked = blocked[:0]
+			for k := xadj[v]; k < xadj[v+1]; k++ {
+				u := adj[k]
+				if locked[u] {
+					continue
+				}
+				if to, gain, ok := candidate(u); ok {
+					stamp[u]++
+					fb.push(fmCand{l: u, to: to, gain: gain, stamp: stamp[u]})
+				}
+			}
+		}
+		for i := len(log) - 1; i >= bestAt; i-- {
+			mv := log[i]
+			wv := weight(mv.l)
+			W[part[mv.l]] -= wv
+			W[mv.from] += wv
+			part[mv.l] = mv.from
+		}
+		scanned += int64(64 * len(log))
+		if bestCum <= 0 {
+			break
+		}
+	}
+	return 2 * scanned
+}
+
+// parallelFM runs the hill-climbing distributed k-way FM refinement on
+// a block-distributed graph whose part vector (indexed by home-local
+// vertex) came from projecting a coarser level's partition. Balance is
+// protected exactly as in distRefine: part weights are re-synchronized
+// at every sub-iteration boundary and each rank may spend at most
+// 1/Procs of a part's remaining headroom inside one sub-iteration, so
+// concurrent moves cannot overshoot the window no matter how the
+// speculation resolves. Collective and deterministic.
+func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int) {
+	const tol = 0.07
+	me, procs := c.Rank(), c.Procs()
+	lo := g.Home.Lo(me)
+	localN := g.LocalN(me)
+
+	// partOf resolves the part of a global neighbor id from the home
+	// vector or the ghost copy.
+	ghostPart := ge.PushInts(c, part)
+	partOf := func(u int) int {
+		if g.Home.Owner(u) == me {
+			return part[u-lo]
+		}
+		return ghostPart[ge.Slot(u)]
+	}
+	edgeW := func(k int) float64 {
+		if g.EdgeW == nil {
+			return 1
+		}
+		return g.EdgeW[k]
+	}
+
+	// ghostAdj[s] lists the home-local vertices adjacent to ghost slot
+	// s — the reverse index that turns "ghost s changed" into "rescan
+	// these vertices". Built once per refine call, O(local E).
+	ghostAdj := make([][]int, len(ge.IDs))
+	for l := 0; l < localN; l++ {
+		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
+			if u := g.Adj[k]; g.Home.Owner(u) != me {
+				ghostAdj[ge.Slot(u)] = append(ghostAdj[ge.Slot(u)], l)
+			}
+		}
+	}
+
+	// Cached per-vertex state, refreshed only for vertices marked dirty
+	// by a local or remote move in their neighborhood:
+	//   cutW[l]     weighted cut contribution of l's edges
+	//   boundary[l] whether l has any cross-part edge
+	// localCut is maintained incrementally from cutW deltas and checked
+	// against a full recomputation at every pass start.
+	cutW := make([]float64, localN)
+	boundary := make([]bool, localN)
+	dirty := make([]bool, localN)
+	localCut := 0.0
+	refresh := func(l int) {
+		old := cutW[l]
+		w, bnd := 0.0, false
+		p := part[l]
+		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
+			if partOf(g.Adj[k]) != p {
+				w += edgeW(k)
+				bnd = true
+			}
+		}
+		cutW[l], boundary[l] = w, bnd
+		localCut += w - old
+	}
+	scanned := 0 // degree sum of refreshed vertices, for flop charges
+	refreshAll := func() {
+		localCut = 0
+		for l := 0; l < localN; l++ {
+			cutW[l] = 0
+			refresh(l)
+		}
+		scanned += len(g.Adj)
+	}
+
+	// syncState fuses the two collectives every sub-iteration boundary
+	// needs — part weights and exact global cut — into one allgather of
+	// nparts+1 floats per rank.
+	W := make([]float64, nparts)
+	var cut float64
+	buf := make([]float64, nparts+1)
+	syncState := func() {
+		for q := 0; q < nparts; q++ {
+			buf[q] = 0
+		}
+		for l := 0; l < localN; l++ {
+			buf[part[l]] += g.Weight(l)
+		}
+		buf[nparts] = localCut
+		all := c.AllGatherFloats(buf)
+		for q := 0; q <= nparts; q++ {
+			buf[q] = 0
+		}
+		for i, v := range all {
+			buf[i%(nparts+1)] += v
+		}
+		copy(W, buf[:nparts])
+		cut = buf[nparts] / 2 // symmetric CSR: both owners counted each edge
+	}
+
+	refreshAll()
+	syncState()
+	totalW := 0.0
+	for _, w := range W {
+		totalW += w
+	}
+	ideal := totalW / float64(nparts)
+	maxA, minA := ideal*(1+tol), ideal*(1-tol)
+
+	// Per-candidate scratch for the selection scan.
+	acc := make([]float64, nparts)
+	seen := make([]bool, nparts)
+	var touchedParts []int
+	stamp := make([]int, localN)
+	fb := newFMBuckets()
+	locked := make([]bool, localN)
+	movedFlag := make([]bool, localN)
+	var log []fmMove
+	var blocked []fmCand
+	addBudget := make([]float64, nparts)
+	subBudget := make([]float64, nparts)
+
+	// candidate computes l's best direction-eligible move: the adjacent
+	// part maximizing the cut gain (ties toward the smaller part id,
+	// like distRefine). Returns ok=false for non-boundary vertices or
+	// when the direction rule filters every adjacent part.
+	candidate := func(l, dir int) (to int, gain float64, ok bool) {
+		p := part[l]
+		intW := 0.0
+		touchedParts = touchedParts[:0]
+		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
+			q := partOf(g.Adj[k])
+			w := edgeW(k)
+			if q == p {
+				intW += w
+				continue
+			}
+			if !seen[q] {
+				seen[q] = true
+				acc[q] = 0
+				touchedParts = append(touchedParts, q)
+			}
+			acc[q] += w
+		}
+		scanned += g.Degree(l)
+		best, bestGain := -1, math.Inf(-1)
+		for _, q := range touchedParts {
+			seen[q] = false
+			if dir == 0 && q < p || dir == 1 && q > p {
+				continue
+			}
+			if gq := acc[q] - intW; gq > bestGain || (gq == bestGain && q < best) {
+				best, bestGain = q, gq
+			}
+		}
+		if best < 0 {
+			return 0, 0, false
+		}
+		return best, bestGain, true
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		startCut := cut
+		bestCut := cut
+		log = log[:0]
+		bestLen := 0
+		for l := range locked {
+			locked[l] = false
+		}
+		passMoved, drySpell := 0, 0
+
+		for it := 0; it < fmSubIters; it++ {
+			dir := it & 1
+			for q := 0; q < nparts; q++ {
+				addBudget[q] = (maxA - W[q]) / float64(procs)
+				subBudget[q] = (W[q] - minA) / float64(procs)
+			}
+
+			// Selection: seed the gain buckets from the current
+			// boundary. Ascending l keeps within-bucket order (and so
+			// the whole pop sequence) deterministic.
+			fb.reset()
+			for l := 0; l < localN; l++ {
+				if !boundary[l] || locked[l] {
+					continue
+				}
+				if to, gain, ok := candidate(l, dir); ok {
+					stamp[l]++
+					fb.push(fmCand{l: l, to: to, gain: gain, stamp: stamp[l]})
+				}
+			}
+
+			// Apply: one serial-FM hill-climbing pass over the local
+			// slice with the ghost layer frozen. Moves pop highest gain
+			// first and may go NEGATIVE — the climb out of a local
+			// minimum greedy refinement is stuck in — with the local
+			// cumulative gain tracked serial-FM style (each committed
+			// move refreshes its local neighbors' gains, so the running
+			// total is exact in the local view). Before anything is
+			// exchanged, the rank rolls its own batch back to the best
+			// prefix it saw: only climbs that paid off locally ever
+			// become visible to other ranks, so speculation noise does
+			// not scale with the rank count. plateau bounds how far a
+			// climb may chase a recovery before giving up.
+			const plateau = 32
+			moved := 0
+			blocked = blocked[:0]
+			cum, bestCum, bestAt := 0.0, 0.0, len(log)
+			for {
+				cand, ok := fb.pop()
+				if !ok {
+					break
+				}
+				l := cand.l
+				if cand.stamp != stamp[l] || locked[l] {
+					continue // superseded by a fresher entry
+				}
+				if cand.gain <= 0 && len(log)-bestAt >= plateau {
+					break // climb gone cold past the best prefix
+				}
+				p, w := part[l], g.Weight(l)
+				if addBudget[cand.to] < w || subBudget[p] < w {
+					// Balance-blocked, not dead: re-offered after the
+					// next committed move (klRefine's stash).
+					blocked = append(blocked, cand)
+					continue
+				}
+				part[l] = cand.to
+				locked[l] = true
+				movedFlag[l] = true
+				dirty[l] = true
+				log = append(log, fmMove{l: l, from: p})
+				// Net-inflow accounting: the budgets bound each rank's
+				// NET weight movement per part, so an outflow refunds
+				// the headroom it frees — climbs that shuffle weight
+				// through a part are not charged as if they parked it.
+				addBudget[cand.to] -= w
+				addBudget[p] += w
+				subBudget[p] -= w
+				subBudget[cand.to] += w
+				moved++
+				cum += cand.gain
+				if cum > bestCum {
+					bestCum, bestAt = cum, len(log)
+				}
+				for _, bc := range blocked {
+					fb.push(bc)
+				}
+				blocked = blocked[:0]
+				// Local neighbors see the move immediately: their
+				// cached state is refreshed and fresh bucket entries
+				// supersede the stale ones (serial-FM style). Remote
+				// neighbors find out at the sub-iteration boundary.
+				for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
+					u := g.Adj[k]
+					if g.Home.Owner(u) != me {
+						continue
+					}
+					ul := u - lo
+					dirty[ul] = true
+					if locked[ul] {
+						continue
+					}
+					refresh(ul)
+					dirty[ul] = false
+					if !boundary[ul] {
+						continue
+					}
+					if to, gain, ok := candidate(ul, dir); ok {
+						stamp[ul]++
+						fb.push(fmCand{l: ul, to: to, gain: gain, stamp: stamp[ul]})
+					}
+				}
+			}
+			// Local rollback to the batch's best prefix: undone moves
+			// never leave the rank. The vertices stay locked for the
+			// rest of the pass (their climb did not pay off), and their
+			// neighborhoods are re-marked dirty for the refresh below.
+			for i := len(log) - 1; i >= bestAt; i-- {
+				mv := log[i]
+				part[mv.l] = mv.from
+				movedFlag[mv.l] = false
+				dirty[mv.l] = true
+				moved--
+				for k := g.XAdj[mv.l]; k < g.XAdj[mv.l+1]; k++ {
+					if u := g.Adj[k]; g.Home.Owner(u) == me {
+						dirty[u-lo] = true
+					}
+				}
+			}
+			log = log[:bestAt]
+
+			// Conflict resolution: one batched exchange of the moved
+			// parts; the touched-slot list marks exactly the vertices
+			// whose cached gains a remote move invalidated.
+			touched := ge.UpdateIntsTouched(c, part, movedFlag, ghostPart)
+			for l := range movedFlag {
+				movedFlag[l] = false
+			}
+			for _, s := range touched {
+				for _, l := range ghostAdj[s] {
+					dirty[l] = true
+				}
+			}
+			for l := 0; l < localN; l++ {
+				if dirty[l] {
+					refresh(l)
+					dirty[l] = false
+				}
+			}
+			syncState()
+			c.Flops(2*scanned + localN)
+			scanned = 0
+
+			if cut < bestCut {
+				bestCut = cut
+				bestLen = len(log)
+			}
+			movedG := c.SumInt(moved)
+			passMoved += movedG
+			if movedG == 0 {
+				if drySpell++; drySpell >= 2 {
+					break // both directions dry: the pass converged
+				}
+			} else {
+				drySpell = 0
+			}
+		}
+
+		// Rollback: every sub-iteration boundary was a consistent global
+		// snapshot, so undoing each rank's moves past its checkpoint
+		// restores exactly the best-seen partition and cut. The decision
+		// compares collective results (identical on every rank), so all
+		// ranks enter the exchange together — a rank whose log is
+		// already at its checkpoint just contributes an empty batch.
+		if cut > bestCut {
+			for i := len(log) - 1; i >= bestLen; i-- {
+				mv := log[i]
+				part[mv.l] = mv.from
+				movedFlag[mv.l] = true
+				dirty[mv.l] = true
+				// Same-rank neighbors cached the undone move in cutW/
+				// boundary; re-mark them exactly as the local batch
+				// rollback does, or later passes measure a stale cut.
+				for k := g.XAdj[mv.l]; k < g.XAdj[mv.l+1]; k++ {
+					if u := g.Adj[k]; g.Home.Owner(u) == me {
+						dirty[u-lo] = true
+					}
+				}
+			}
+			touched := ge.UpdateIntsTouched(c, part, movedFlag, ghostPart)
+			for l := range movedFlag {
+				movedFlag[l] = false
+			}
+			for _, s := range touched {
+				for _, l := range ghostAdj[s] {
+					dirty[l] = true
+				}
+			}
+			for l := 0; l < localN; l++ {
+				if dirty[l] {
+					refresh(l)
+					dirty[l] = false
+				}
+			}
+			syncState()
+			c.Flops(2 * scanned)
+			scanned = 0
+		}
+
+		if passMoved == 0 || bestCut >= startCut {
+			break // no progress left for another pass to find
+		}
+	}
+}
