@@ -8,9 +8,9 @@ GO ?= go
 # coverage durably improves.
 COVER_FLOOR = 89.0
 
-.PHONY: check build vet lint test race cover cover-check bench bench-json quickstart tables examples docs-check
+.PHONY: check build vet lint test race cover cover-check bench bench-json quickstart tables examples docs-check api-check api-snapshot
 
-check: build lint test docs-check
+check: build lint test docs-check api-check
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,25 @@ docs-check:
 	@$(GO) doc ./internal/geocol >/dev/null
 	@$(GO) doc ./internal/partition Multilevel >/dev/null
 	@echo "docs-check OK"
+
+# api-check pins the exported surface of the public chaos package:
+# `go doc -all ./chaos` (normalized: trailing whitespace stripped) must
+# match the reviewed snapshot in docs/API.txt, so accidental API drift
+# fails tier-1. After an intentional API change, review the diff and
+# refresh the snapshot with `make api-snapshot`.
+api-check:
+	@$(GO) doc -all ./chaos | sed -e 's/[[:space:]]*$$//' > .api-current.txt; \
+	if ! diff -u docs/API.txt .api-current.txt; then \
+		rm -f .api-current.txt; \
+		echo "FAIL: exported chaos API drifted from docs/API.txt;"; \
+		echo "      review the diff above and run 'make api-snapshot' if intended"; \
+		exit 1; \
+	fi; \
+	rm -f .api-current.txt; echo "api-check OK"
+
+api-snapshot:
+	$(GO) doc -all ./chaos | sed -e 's/[[:space:]]*$$//' > docs/API.txt
+	@echo "wrote docs/API.txt"
 
 test:
 	$(GO) test ./...

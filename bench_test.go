@@ -14,6 +14,7 @@ import (
 	"chaos/internal/experiments"
 	"chaos/internal/iterpart"
 	"chaos/internal/machine"
+	"chaos/internal/partition"
 	"chaos/internal/registry"
 	"chaos/internal/schedule"
 	"chaos/internal/ttable"
@@ -47,28 +48,28 @@ func runCell(b *testing.B, cfg experiments.Config) {
 func BenchmarkTable1ScheduleReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters,
 	})
 }
 
 func BenchmarkTable1NoReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: false, Iters: benchIters,
+		Spec: partition.MustSpec("RCB"), Reuse: false, Iters: benchIters,
 	})
 }
 
 func BenchmarkTable1MDScheduleReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: 4, Workload: experiments.Water648(),
-		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters,
 	})
 }
 
 func BenchmarkTable1MDNoReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: 4, Workload: experiments.Water648(),
-		Partitioner: "RCB", Reuse: false, Iters: benchIters,
+		Spec: partition.MustSpec("RCB"), Reuse: false, Iters: benchIters,
 	})
 }
 
@@ -77,42 +78,42 @@ func BenchmarkTable1MDNoReuse(b *testing.B) {
 func BenchmarkTable2RCBCompilerReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: true, Iters: benchIters, Compiler: true,
+		Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters, Compiler: true,
 	})
 }
 
 func BenchmarkTable2RCBCompilerNoReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: false, Iters: benchIters, Compiler: true,
+		Spec: partition.MustSpec("RCB"), Reuse: false, Iters: benchIters, Compiler: true,
 	})
 }
 
 func BenchmarkTable2RCBHand(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters,
 	})
 }
 
 func BenchmarkTable2BlockHand(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "BLOCK", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("BLOCK"), Reuse: true, Iters: benchIters,
 	})
 }
 
 func BenchmarkTable2RSBCompilerReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RSB", Reuse: true, Iters: benchIters, Compiler: true,
+		Spec: partition.MustSpec("RSB"), Reuse: true, Iters: benchIters, Compiler: true,
 	})
 }
 
 func BenchmarkTable2MultilevelCompilerReuse(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "MULTILEVEL", Reuse: true, Iters: benchIters, Compiler: true,
+		Spec: partition.MustSpec("MULTILEVEL"), Reuse: true, Iters: benchIters, Compiler: true,
 	})
 }
 
@@ -121,14 +122,14 @@ func BenchmarkTable2MultilevelCompilerReuse(b *testing.B) {
 func BenchmarkTable3RCBDetailP4(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: 4, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: true, Iters: benchIters, Compiler: true,
+		Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters, Compiler: true,
 	})
 }
 
 func BenchmarkTable3RCBDetailP16(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: 16, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: true, Iters: benchIters, Compiler: true,
+		Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters, Compiler: true,
 	})
 }
 
@@ -137,14 +138,14 @@ func BenchmarkTable3RCBDetailP16(b *testing.B) {
 func BenchmarkTable4BlockP4(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: 4, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "BLOCK", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("BLOCK"), Reuse: true, Iters: benchIters,
 	})
 }
 
 func BenchmarkTable4BlockP16(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: 16, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "BLOCK", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("BLOCK"), Reuse: true, Iters: benchIters,
 	})
 }
 
@@ -188,7 +189,7 @@ func benchIterPolicy(b *testing.B, pol iterpart.Policy, skip bool) {
 	b.Helper()
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RCB", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters,
 		IterPolicy: pol, SkipIterPart: skip,
 	})
 }
@@ -208,14 +209,14 @@ func BenchmarkAblationIterBlock(b *testing.B) {
 func BenchmarkAblationRSB(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RSB", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("RSB"), Reuse: true, Iters: benchIters,
 	})
 }
 
 func BenchmarkAblationRSBKL(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "RSB-KL", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("RSB-KL"), Reuse: true, Iters: benchIters,
 	})
 }
 
@@ -224,7 +225,7 @@ func BenchmarkAblationRSBKL(b *testing.B) {
 func BenchmarkAblationMultilevel(b *testing.B) {
 	runCell(b, experiments.Config{
 		Procs: benchProcs, Workload: experiments.MeshWorkload(benchMeshNodes),
-		Partitioner: "MULTILEVEL", Reuse: true, Iters: benchIters,
+		Spec: partition.MustSpec("MULTILEVEL"), Reuse: true, Iters: benchIters,
 	})
 }
 

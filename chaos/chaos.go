@@ -13,9 +13,10 @@
 //	    e1 := s.NewIntArray("end_pt1", nedge)  // INTEGER end_pt1(nedge)
 //	    e2 := s.NewIntArray("end_pt2", nedge)
 //	    // ... fill arrays ...
-//	    g := s.Construct(nnode, chaos.GeoColInput{Link1: e1, Link2: e2}) // C$ CONSTRUCT G (nnode, LINK(...))
-//	    m, _ := s.SetByPartitioning(g, "RSB", s.C.Procs())               // C$ SET distfmt BY PARTITIONING G USING RSB
-//	    s.Redistribute(m, []*chaos.Array{x, y}, nil)                     // C$ REDISTRIBUTE reg(distfmt)
+//	    g := s.Construct(nnode, chaos.GeoColInput{Link1: e1, Link2: e2})          // C$ CONSTRUCT G (nnode, LINK(...))
+//	    m, _ := s.SetPartitioning(g, chaos.PartitionSpec{Method: chaos.MethodRSB}, // C$ SET distfmt BY PARTITIONING G USING RSB
+//	        s.C.Procs())
+//	    s.Redistribute(m, []*chaos.Array{x, y}, nil)                              // C$ REDISTRIBUTE reg(distfmt)
 //	    loop := s.NewLoop("sweep", nedge,
 //	        []chaos.Read{{Arr: x, Ind: e1}, {Arr: x, Ind: e2}},
 //	        []chaos.Write{{Arr: y, Ind: e1, Op: chaos.Add}, {Arr: y, Ind: e2, Op: chaos.Add}},
@@ -31,17 +32,33 @@
 // charged by an iPSC/860-calibrated cost model, so experiments report
 // deterministic machine-like times.
 //
-// SetByPartitioning selects from the partitioner library of the paper's
-// Section 4.2 by name: "RCB" and "INERTIAL" consume GEOMETRY; "RSB",
-// "RSB-KL", "KL" and "MULTILEVEL" consume LINK connectivity; "BLOCK"
-// and "RANDOM" are baselines. MULTILEVEL (coarsen with heavy-edge
-// matching, spectral-solve the coarse graph, uncoarsen with KL
-// refinement) matches RSB's cut quality at a small fraction of its
-// cost and is the recommended default for large meshes; on machines
-// with more than one processor it coarsens distributedly over the
-// block-distributed GeoCoL graph, so — alone in the serial
+// SetPartitioning selects from the partitioner library of the paper's
+// Section 4.2 through a typed PartitionSpec: MethodRCB and
+// MethodInertial consume GEOMETRY; MethodRSB, MethodRSBKL, MethodKL
+// and MethodMultilevel consume LINK connectivity; MethodBlock and
+// MethodRandom are baselines. Every built-in partitioner declares its
+// requirements as Capabilities, and a spec is validated against them
+// and the graph's components before any work starts, so mismatches
+// fail with a descriptive error at the call site. MULTILEVEL (coarsen
+// with heavy-edge matching, spectral-solve the coarse graph, uncoarsen
+// with KL refinement) matches RSB's cut quality at a small fraction of
+// its cost and is the recommended default for large meshes; on
+// machines with more than one processor it coarsens distributedly over
+// the block-distributed GeoCoL graph, so — alone in the serial
 // connectivity family — its partitioning time keeps falling as
-// processors are added. See docs/ARCHITECTURE.md for the trade-offs.
+// processors are added, and its tuning knobs (CoarsenTo,
+// ParallelThreshold, FMPasses, VCycle, Seed, Imbalance) are
+// PartitionSpec fields. See docs/ARCHITECTURE.md for the trade-offs.
+//
+// Session.NewRepartitioner returns the stateful Repartitioner handle
+// for meshes that change over time: unchanged inputs are served from
+// cache (the paper's Section 3 reuse guard), and slightly changed
+// meshes are warm-repartitioned off the retained multilevel coarsening
+// ladder at a fraction of a cold run (see examples/adaptive).
+//
+// The Fortran-D-style string forms remain as deprecated shims:
+// SetByPartitioning(g, "RSB", n) and ParseSpec("MULTILEVEL(...)")
+// produce bit-identical results to the typed path.
 // RegisterPartitioner links a custom implementation under its own
 // name.
 package chaos

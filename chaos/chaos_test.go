@@ -24,7 +24,7 @@ func TestQuickstartSurface(t *testing.T) {
 		e2.FillByGlobal(func(g int) int { return (g + 1) % n })
 
 		g := s.Construct(n, chaos.GeoColInput{Link1: e1, Link2: e2})
-		m, err := s.SetByPartitioning(g, "RSB", p)
+		m, err := s.SetPartitioning(g, chaos.PartitionSpec{Method: chaos.MethodRSB}, p)
 		if err != nil {
 			t.Error(err)
 			return

@@ -29,12 +29,12 @@ func ExampleRun() {
 	// Output: 2 ranks hold x(0:7); sum 28
 }
 
-// ExampleSession_SetByPartitioning walks the paper's Figure 2 pipeline
+// ExampleSession_SetPartitioning walks the paper's Figure 2 pipeline
 // on a 16-vertex ring: CONSTRUCT a GeoCoL graph from the edge list,
-// SET the distribution BY PARTITIONING it with the multilevel
-// partitioner, REDISTRIBUTE the data arrays, and run one
-// inspector/executor sweep that accumulates each vertex's neighbors.
-func ExampleSession_SetByPartitioning() {
+// SET the distribution BY PARTITIONING it with a typed multilevel
+// spec, REDISTRIBUTE the data arrays, and run one inspector/executor
+// sweep that accumulates each vertex's neighbors.
+func ExampleSession_SetPartitioning() {
 	const n, p = 16, 2
 	err := chaos.Run(chaos.ZeroCost(p), func(s *chaos.Session) {
 		x := s.NewArray("x", n)
@@ -49,7 +49,7 @@ func ExampleSession_SetByPartitioning() {
 		// C$ CONSTRUCT G (n, LINK(end_pt1, end_pt2))
 		g := s.Construct(n, chaos.GeoColInput{Link1: e1, Link2: e2})
 		// C$ SET distfmt BY PARTITIONING G USING MULTILEVEL
-		m, err := s.SetByPartitioning(g, "MULTILEVEL", p)
+		m, err := s.SetPartitioning(g, chaos.PartitionSpec{Method: chaos.MethodMultilevel}, p)
 		if err != nil {
 			panic(err)
 		}
@@ -80,4 +80,20 @@ func ExampleSession_SetByPartitioning() {
 		panic(err)
 	}
 	// Output: parts hold [8 8] vertices; neighbor-sum checksum 272
+}
+
+// ExampleParseSpec shows the two interchangeable spellings of a
+// partitioner selection: the Fortran-D-style string the front end
+// consumes and the typed PartitionSpec, which round-trip through
+// ParseSpec / String.
+func ExampleParseSpec() {
+	sp, err := chaos.ParseSpec("MULTILEVEL(CoarsenTo=200,VCycle=true)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sp.Method, sp.CoarsenTo, sp.VCycle)
+	fmt.Println(sp.String())
+	// Output:
+	// MULTILEVEL 200 true
+	// MULTILEVEL(CoarsenTo=200,VCycle=true)
 }

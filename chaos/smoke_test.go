@@ -44,7 +44,7 @@ func TestQuickstartMeshEndToEnd(t *testing.T) {
 		e2.FillByGlobal(func(g int) int { return m.E2[g] })
 
 		g := s.Construct(m.NNode, chaos.GeoColInput{Link1: e1, Link2: e2})
-		dec, err := s.SetByPartitioning(g, "RSB", procs)
+		dec, err := s.SetPartitioning(g, chaos.PartitionSpec{Method: chaos.MethodRSB}, procs)
 		if err != nil {
 			t.Error(err)
 			return
@@ -88,7 +88,7 @@ func TestQuickstartMeshEndToEnd(t *testing.T) {
 func TestChaosbenchCellSmoke(t *testing.T) {
 	w := experiments.MeshWorkload(200)
 	base := experiments.Config{
-		Procs: 4, Workload: w, Partitioner: "RCB", Iters: 4,
+		Procs: 4, Workload: w, Spec: chaos.MustSpec("RCB"), Iters: 4,
 	}
 
 	withReuse := base

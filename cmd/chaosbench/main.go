@@ -5,6 +5,7 @@
 // Usage:
 //
 //	chaosbench [-table N] [-quick] [-iters N] [-markdown]
+//	chaosbench -crossover | -adaptive [-quick]
 //
 // With no -table flag every table (1-4) is produced. -quick runs a
 // scaled-down grid (smaller meshes, fewer processors and iterations)
@@ -20,15 +21,23 @@
 // its partitioner cell — unlike RSB's replicated solve — also shrinks
 // with the processor count. -crossover likewise includes MULTILEVEL in
 // the amortization study.
+//
+// -adaptive emits the adaptive-mesh REDISTRIBUTE study as JSON: the
+// mesh is adapted (edges rewired) every epoch and repartitioned
+// through a Repartitioner, so warm, ladder-reusing MULTILEVEL runs
+// are compared against same-graph cold runs — the incremental
+// repartitioning column the paper could not afford to run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"chaos/internal/experiments"
+	"chaos/internal/partition"
 	"chaos/internal/report"
 )
 
@@ -39,6 +48,7 @@ func main() {
 		iters     = flag.Int("iters", 0, "override executor iteration count")
 		markdown  = flag.Bool("markdown", false, "emit markdown tables")
 		crossover = flag.Bool("crossover", false, "partitioner amortization/crossover study instead of tables")
+		adaptive  = flag.Bool("adaptive", false, "adaptive-mesh cold/warm repartition amortization study, emitted as JSON")
 	)
 	flag.Parse()
 
@@ -50,10 +60,44 @@ func main() {
 		grid.Iters = *iters
 	}
 
+	if *adaptive {
+		// The incremental-repartitioning column: an adaptive mesh
+		// repartitioned with MULTILEVEL every epoch through a
+		// Repartitioner, warm ladder-reusing runs compared against
+		// same-graph cold runs. ParallelThreshold is lowered so the
+		// ladder path (the one with retained state) also engages on
+		// the -quick grid's smaller mesh.
+		rep, err := experiments.AdaptiveStudy(experiments.AdaptiveConfig{
+			Procs: grid.Table2Procs, NNode: grid.MeshB,
+			Epochs: 4, Rewire: 0.05, Iters: grid.Iters,
+			Spec: partition.Spec{
+				Method:            partition.MethodMultilevel,
+				ParallelThreshold: 256,
+			},
+			ColdBaseline: true,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *crossover {
 		w := experiments.MeshWorkload(grid.MeshB)
 		rep, err := experiments.CrossoverReport(grid.Table2Procs, w,
-			[]string{"BLOCK", "RCB", "RSB", "MULTILEVEL"}, grid.Iters)
+			[]partition.Spec{
+				{Method: partition.MethodBlock},
+				{Method: partition.MethodRCB},
+				{Method: partition.MethodRSB},
+				{Method: partition.MethodMultilevel},
+			}, grid.Iters)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
 			os.Exit(1)

@@ -1,15 +1,24 @@
-// Adaptive example: what schedule reuse buys — and when the runtime
-// must conservatively give it up. An Euler edge sweep runs over an
-// unstructured mesh whose connectivity is "adapted" every few time
-// steps (a fraction of edges rewired, as an adaptive CFD solver does).
+// Adaptive example: incremental repartitioning of an adaptive mesh —
+// the REDISTRIBUTE experiment the paper could not afford to run. An
+// Euler edge sweep runs over an unstructured mesh whose connectivity
+// is "adapted" every few time steps (a fraction of edges rewired, as
+// an adaptive CFD solver does), and the mesh is repartitioned with
+// MULTILEVEL at every adaptation through a chaos.Repartitioner:
 //
-//   - Between adaptations, every Execute reuses the saved inspector.
-//   - Writing the indirection arrays bumps their lastmod timestamps, so
-//     the first sweep after each adaptation re-runs the inspector
-//     (condition 3 of the paper's Section 3).
-//   - The GeoCoL mapping is guarded by the same mechanism: geometry is
-//     unchanged, so ConstructAndPartition keeps returning the cached
-//     RCB mapping instead of repartitioning.
+//   - Between adaptations, every Execute reuses the saved inspector,
+//     and Repartitioner.Map returns its cached mapping without any
+//     work (the paper's Section 3 unchanged-input guard).
+//   - At each adaptation the indirection arrays change, so Map must
+//     repartition — but instead of a cold MULTILEVEL run it restricts
+//     the previous partition onto the retained coarsening ladder and
+//     re-runs refinement only, a fraction of the cold cost.
+//   - The typed PartitionSpec lowers ParallelThreshold so the
+//     distributed ladder path (the one with retained state) engages
+//     on this demo-sized mesh.
+//
+// The program prints the cold-vs-warm partition time per epoch plus
+// the remap traffic each repartition causes — the Table-2-style
+// column chaosbench -adaptive emits as JSON.
 //
 // Run: go run ./examples/adaptive
 package main
@@ -26,11 +35,11 @@ import (
 func main() {
 	const (
 		procs  = 8
-		steps  = 30
+		steps  = 40
 		adapt  = 10 // adapt connectivity every this many steps
 		rewire = 0.05
 	)
-	m := mesh.Generate(2000, 7)
+	m := mesh.Generate(4000, 7)
 	nedge := m.NEdge()
 	fmt.Printf("adaptive sweep: %d nodes, %d edges, adapting %d%% of edges every %d steps\n",
 		m.NNode, nedge, int(rewire*100), adapt)
@@ -47,12 +56,17 @@ func main() {
 		e2 := append([]int(nil), e2s[ep-1]...)
 		for k := 0; k < int(rewire*float64(nedge)); k++ {
 			// Re-point one endpoint of a random edge at a random
-			// nearby vertex (index-space rewiring is fine here; the
-			// point is that the access pattern changed).
+			// vertex (index-space rewiring is fine here; the point is
+			// that the access pattern changed).
 			e := rng.Intn(nedge)
 			e2[e] = rng.Intn(m.NNode)
 		}
 		e1s[ep], e2s[ep] = e1, e2
+	}
+
+	spec := chaos.PartitionSpec{
+		Method:            chaos.MethodMultilevel,
+		ParallelThreshold: 512, // engage the ladder path on this mesh size
 	}
 
 	err := chaos.Run(chaos.IPSC860(procs), func(s *chaos.Session) {
@@ -64,22 +78,12 @@ func main() {
 		e2 := s.NewIntArray("end_pt2", nedge)
 		e1.FillByGlobal(func(g int) int { return m.E1[g] })
 		e2.FillByGlobal(func(g int) int { return m.E2[g] })
-		xc := s.NewArray("xc", m.NNode)
-		yc := s.NewArray("yc", m.NNode)
-		zc := s.NewArray("zc", m.NNode)
-		xc.FillByGlobal(func(g int) float64 { return m.X[g] })
-		yc.FillByGlobal(func(g int) float64 { return m.Y[g] })
-		zc.FillByGlobal(func(g int) float64 { return m.Z[g] })
+		in := chaos.GeoColInput{Link1: e1, Link2: e2}
 
-		// Reuse-guarded mapper coupling: the geometry never changes,
-		// so the partitioner runs exactly once across all epochs.
-		var mapperCache chaos.MapperRecord
-		in := chaos.GeoColInput{Geometry: []*chaos.Array{xc, yc, zc}}
-		mapping, err := s.ConstructAndPartition(&mapperCache, m.NNode, in, "RCB", procs)
+		rp, err := s.NewRepartitioner(spec)
 		if err != nil {
 			panic(err)
 		}
-		s.Redistribute(mapping, []*chaos.Array{x, y}, nil)
 
 		loop := s.NewLoop("sweep", nedge,
 			[]chaos.Read{{Arr: x, Ind: e1}, {Arr: x, Ind: e2}},
@@ -87,36 +91,67 @@ func main() {
 			mesh.EulerFlops, mesh.EulerFlux)
 		loop.PartitionIterations(chaos.AlmostOwnerComputes)
 
+		var prevFull []int
 		epoch := 0
 		for step := 0; step < steps; step++ {
 			if step > 0 && step%adapt == 0 {
 				epoch++
-				// Mesh adaptation: rewrite the indirection arrays.
-				// (After iteration partitioning they are irregularly
-				// distributed; FillByGlobal writes the local section
-				// and bumps lastmod.)
+				// Mesh adaptation: rewrite the indirection arrays,
+				// which bumps their lastmod timestamps so both the
+				// inspector and the mapper guard see the change.
 				cur1, cur2 := e1s[epoch], e2s[epoch]
 				e1.FillByGlobal(func(g int) int { return cur1[g] })
 				e2.FillByGlobal(func(g int) int { return cur2[g] })
-				// The mapper cache is still valid: geometry unchanged.
-				if again, _ := s.ConstructAndPartition(&mapperCache, m.NNode, in, "RCB", procs); again != mapping {
-					panic("mapper cache should have been reused")
+			}
+			pt0 := s.Timer(chaos.TimerPartition)
+			st0 := rp.Stats()
+			mapping, err := rp.Map(m.NNode, in, procs)
+			if err != nil {
+				panic(err)
+			}
+			partS := s.C.MaxFloat(s.Timer(chaos.TimerPartition) - pt0)
+			st := rp.Stats()
+
+			if st.Cold+st.Warm > st0.Cold+st0.Warm {
+				// A repartition actually ran: redistribute onto the
+				// new mapping and report the epoch.
+				full := s.C.AllGatherInts(mapping.LocalPart())
+				moved := 0
+				if prevFull != nil {
+					for i, p := range full {
+						if prevFull[i] != p {
+							moved++
+						}
+					}
+				}
+				prevFull = full
+				cut := 0
+				for i := range e1s[epoch] {
+					u, v := e1s[epoch][i], e2s[epoch][i]
+					if u != v && full[u] != full[v] {
+						cut++
+					}
+				}
+				s.Redistribute(mapping, []*chaos.Array{x, y}, nil)
+				if s.C.Rank() == 0 {
+					mode := "cold"
+					if st.Warm > st0.Warm {
+						mode = "warm"
+					}
+					fmt.Printf("epoch %d: %-4s partition %6.3fs (virtual), cut %d, remap moved %d of %d vertices\n",
+						epoch, mode, partS, cut, moved, m.NNode)
 				}
 			}
 			loop.Execute()
 		}
 
-		hits, misses := s.Reg.Stats()
-		if s.C.Rank() == 0 {
-			fmt.Printf("%d sweeps across %d adaptation epochs\n", steps, epochs)
-			// One miss belongs to the mapper record's first check.
-			fmt.Printf("inspector executions: %d (one per epoch), reuse hits: %d\n", misses-1, hits)
-		}
+		st := rp.Stats()
 		ins := s.TimerMax(chaos.TimerInspector)
 		ex := s.TimerMax(chaos.TimerExecutor)
-		pt := s.TimerMax(chaos.TimerPartition)
 		if s.C.Rank() == 0 {
-			fmt.Printf("partitioner %.3fs (ran once), inspector %.3fs, executor %.3fs (virtual)\n", pt, ins, ex)
+			fmt.Printf("%d sweeps across %d adaptation epochs: %d cold run, %d warm ladder reuses, %d cache hits\n",
+				steps, epochs, st.Cold, st.Warm, st.Hits)
+			fmt.Printf("inspector %.3fs, executor %.3fs (virtual)\n", ins, ex)
 		}
 	})
 	if err != nil {

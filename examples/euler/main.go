@@ -32,12 +32,17 @@ func main() {
 		m.NNode, m.NEdge(), *procs, *iters)
 	fmt.Printf("%-10s  %10s  %10s  %10s  %10s\n", "partition", "partition", "remap", "executor", "total")
 
-	for _, part := range []string{"BLOCK", "RCB", "RSB", "MULTILEVEL"} {
-		runOne(m, part, *procs, *iters)
+	for _, spec := range []chaos.PartitionSpec{
+		{Method: chaos.MethodBlock},
+		{Method: chaos.MethodRCB},
+		{Method: chaos.MethodRSB},
+		{Method: chaos.MethodMultilevel},
+	} {
+		runOne(m, spec, *procs, *iters)
 	}
 }
 
-func runOne(m *mesh.Mesh, part string, procs, iters int) {
+func runOne(m *mesh.Mesh, spec chaos.PartitionSpec, procs, iters int) {
 	err := chaos.Run(chaos.IPSC860(procs), func(s *chaos.Session) {
 		x := s.NewArray("x", m.NNode)
 		y := s.NewArray("y", m.NNode)
@@ -49,8 +54,8 @@ func runOne(m *mesh.Mesh, part string, procs, iters int) {
 		e2.FillByGlobal(func(g int) int { return m.E2[g] })
 
 		var in chaos.GeoColInput
-		switch part {
-		case "RCB":
+		switch spec.Method {
+		case chaos.MethodRCB:
 			xc := s.NewArray("xc", m.NNode)
 			yc := s.NewArray("yc", m.NNode)
 			zc := s.NewArray("zc", m.NNode)
@@ -58,11 +63,11 @@ func runOne(m *mesh.Mesh, part string, procs, iters int) {
 			yc.FillByGlobal(func(g int) float64 { return m.Y[g] })
 			zc.FillByGlobal(func(g int) float64 { return m.Z[g] })
 			in = chaos.GeoColInput{Geometry: []*chaos.Array{xc, yc, zc}}
-		case "RSB", "MULTILEVEL":
+		case chaos.MethodRSB, chaos.MethodMultilevel:
 			in = chaos.GeoColInput{Link1: e1, Link2: e2}
 		}
 		g := s.Construct(m.NNode, in)
-		dist, err := s.SetByPartitioning(g, part, procs)
+		dist, err := s.SetPartitioning(g, spec, procs)
 		if err != nil {
 			panic(err)
 		}
@@ -83,7 +88,7 @@ func runOne(m *mesh.Mesh, part string, procs, iters int) {
 		ex := s.TimerMax(chaos.TimerExecutor)
 		if s.C.Rank() == 0 {
 			fmt.Printf("%-10s  %10.3f  %10.3f  %10.3f  %10.3f\n",
-				part, pt, rm, ex, pt+rm+ins+ex)
+				spec, pt, rm, ex, pt+rm+ins+ex)
 		}
 	})
 	if err != nil {

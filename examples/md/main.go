@@ -48,7 +48,7 @@ func main() {
 		yc.FillByGlobal(func(g int) float64 { return sys.Y[g] })
 		zc.FillByGlobal(func(g int) float64 { return sys.Z[g] })
 		g := s.Construct(sys.NAtom, chaos.GeoColInput{Geometry: []*chaos.Array{xc, yc, zc}})
-		dist, err := s.SetByPartitioning(g, "RCB", *procs)
+		dist, err := s.SetPartitioning(g, chaos.PartitionSpec{Method: chaos.MethodRCB}, *procs)
 		if err != nil {
 			panic(err)
 		}

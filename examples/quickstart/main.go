@@ -38,7 +38,7 @@ func main() {
 		// Phase A: C$ CONSTRUCT G (nnode, LINK(nedge, end_pt1, end_pt2))
 		//          C$ SET distfmt BY PARTITIONING G USING RSB
 		g := s.Construct(m.NNode, chaos.GeoColInput{Link1: e1, Link2: e2})
-		dist, err := s.SetByPartitioning(g, "RSB", procs)
+		dist, err := s.SetPartitioning(g, chaos.PartitionSpec{Method: chaos.MethodRSB}, procs)
 		if err != nil {
 			log.Fatal(err)
 		}

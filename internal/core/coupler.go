@@ -68,12 +68,18 @@ func (s *Session) Construct(n int, in GeoColInput) *geocol.Graph {
 	return g
 }
 
-// SetByPartitioning runs the named partitioner on a GeoCoL graph and
-// returns the resulting irregular distribution (the SET distfmt BY
-// PARTITIONING G USING <name> directive). The partitioner cost is
-// attributed to TimerPartition. Collective.
-func (s *Session) SetByPartitioning(g *geocol.Graph, partitioner string, nparts int) (*Mapping, error) {
-	p, err := partition.Lookup(partitioner)
+// SetPartitioning runs the partitioner selected by a typed spec on a
+// GeoCoL graph and returns the resulting irregular distribution (the
+// SET distfmt BY PARTITIONING G USING <spec> directive). The spec is
+// resolved against the registry and validated against the
+// partitioner's declared capabilities and the components g actually
+// carries before any partitioning work starts, so a bad combination —
+// RCB without GEOMETRY, tuning knobs on an untunable method — fails
+// with a descriptive error here rather than a panic deep in the
+// library. The partitioner cost is attributed to TimerPartition.
+// Collective.
+func (s *Session) SetPartitioning(g *geocol.Graph, spec partition.Spec, nparts int) (*Mapping, error) {
+	p, err := spec.ValidateFor(g, nparts)
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +89,21 @@ func (s *Session) SetByPartitioning(g *geocol.Graph, partitioner string, nparts 
 		m = &Mapping{n: g.N, home: g.Home, part: part}
 	})
 	return m, nil
+}
+
+// SetByPartitioning is the Fortran-D-style string form of
+// SetPartitioning: the partitioner is named by its registry string,
+// optionally with a parenthesized option list (partition.ParseSpec).
+// It produces bit-identical partitions to the typed path.
+//
+// Deprecated: use SetPartitioning with a typed partition.Spec, which
+// exposes the tuning knobs and validates the combination early.
+func (s *Session) SetByPartitioning(g *geocol.Graph, partitioner string, nparts int) (*Mapping, error) {
+	sp, err := partition.ParseSpec(partitioner)
+	if err != nil {
+		return nil, err
+	}
+	return s.SetPartitioning(g, sp, nparts)
 }
 
 // MapperRecord caches the result of a CONSTRUCT + PARTITIONING pair so
@@ -103,6 +124,10 @@ func (mr *MapperRecord) Mapping() *Mapping { return mr.mapping }
 // input arrays may have changed since the cached mapping was computed,
 // the cached mapping is returned without rebuilding the GeoCoL graph or
 // re-running the partitioner. Collective.
+//
+// Deprecated: use Session.NewRepartitioner, which adds incremental
+// warm repartitioning (retained multilevel coarsening ladder) on top
+// of the same unchanged-input guard.
 func (s *Session) ConstructAndPartition(mr *MapperRecord, n int, in GeoColInput, partitioner string, nparts int) (*Mapping, error) {
 	inputDADs := in.dads()
 	for _, d := range inputDADs {

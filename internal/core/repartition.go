@@ -1,0 +1,151 @@
+package core
+
+import (
+	"chaos/internal/geocol"
+	"chaos/internal/partition"
+	"chaos/internal/registry"
+)
+
+// Repartitioner is the stateful, reuse-guarded CONSTRUCT+PARTITION
+// handle that subsumes MapperRecord (paper Section 3, extended): it
+// carries the conservative DAD/timestamp guard that skips all work
+// when no input array may have changed, and — for the MULTILEVEL
+// method on the distributed path — the retained coarsening ladder and
+// previous partition, so a *slightly* changed mesh is warm-started by
+// restricting the old partition onto the cached ladder and re-running
+// only refinement (partition.Ladder), a fraction of a cold run.
+//
+// Repartitioner is per-rank state created inside the SPMD body via
+// Session.NewRepartitioner; all ranks advance it identically, which
+// keeps the cold/warm/hit decisions globally consistent without
+// communication.
+type Repartitioner struct {
+	// MaxWarm caps consecutive warm (ladder-reusing) repartitions
+	// before a full cold run rebuilds the ladder: the retained ladder
+	// describes the mesh it was built from, and after many adaptation
+	// epochs its clustering drifts away from the current connectivity.
+	// 0 means no cap.
+	MaxWarm int
+
+	s        *Session
+	spec     partition.Spec
+	rec      registry.LoopRecord
+	mapping  *Mapping
+	nparts   int
+	ladder   *partition.Ladder
+	prevPart []int
+	warmRuns int
+	stats    RepartitionerStats
+}
+
+// RepartitionerStats counts how each Map call was served.
+type RepartitionerStats struct {
+	// Hits: inputs unchanged, cached mapping returned with no work.
+	Hits int
+	// Cold: full partitioner run (first build, non-multilevel method,
+	// shape change, or MaxWarm reached).
+	Cold int
+	// Warm: incremental repartition off the retained ladder.
+	Warm int
+}
+
+// NewRepartitioner validates the spec eagerly — an unknown method or
+// a bad option combination fails here, at the declaration site — and
+// returns the handle. The graph-component check (LINK/GEOMETRY) runs
+// per Map call, against the graph actually constructed.
+func (s *Session) NewRepartitioner(spec partition.Spec) (*Repartitioner, error) {
+	if _, err := spec.Resolve(); err != nil {
+		return nil, err
+	}
+	return &Repartitioner{s: s, spec: spec}, nil
+}
+
+// Spec returns the partitioner spec the handle was created with.
+func (rp *Repartitioner) Spec() partition.Spec { return rp.spec }
+
+// Mapping returns the cached mapping (nil before the first Map).
+func (rp *Repartitioner) Mapping() *Mapping { return rp.mapping }
+
+// Stats returns the cumulative hit/cold/warm counts.
+func (rp *Repartitioner) Stats() RepartitionerStats { return rp.stats }
+
+// Invalidate drops the cached mapping, ladder and previous partition,
+// forcing the next Map call to run cold.
+func (rp *Repartitioner) Invalidate() {
+	rp.mapping = nil
+	rp.ladder = nil
+	rp.prevPart = nil
+	rp.warmRuns = 0
+}
+
+// Map is the reuse-guarded Phase A (CONSTRUCT + SET BY PARTITIONING)
+// with incremental warm restarts:
+//
+//   - unchanged inputs (the MapperRecord guard): the cached mapping is
+//     returned without rebuilding the GeoCoL graph or repartitioning;
+//   - changed inputs, MULTILEVEL with a retained ladder and matching
+//     shape: the graph is rebuilt (TimerGraphGen) and warm-repartitioned
+//     off the ladder (TimerPartition), re-running refinement only;
+//   - otherwise: the graph is rebuilt and partitioned cold, retaining
+//     a fresh ladder when the distributed multilevel path ran.
+//
+// Collective.
+func (rp *Repartitioner) Map(n int, in GeoColInput, nparts int) (*Mapping, error) {
+	inputDADs := in.dads()
+	for _, d := range inputDADs {
+		rp.s.Reg.Track(d)
+	}
+	rp.s.C.Words(2 * len(inputDADs)) // the guard itself is a few comparisons
+	if rp.s.Reg.Check(&rp.rec, nil, inputDADs) && rp.mapping != nil &&
+		rp.nparts == nparts && rp.mapping.Size() == n {
+		rp.stats.Hits++
+		return rp.mapping, nil
+	}
+	g := rp.s.Construct(n, in)
+	m, err := rp.partition(g, nparts)
+	if err != nil {
+		return nil, err
+	}
+	rp.mapping = m
+	rp.nparts = nparts
+	rp.s.Reg.Record(&rp.rec, nil, inputDADs)
+	return m, nil
+}
+
+// partition dispatches one changed-input build: warm off the retained
+// ladder when possible, cold otherwise.
+func (rp *Repartitioner) partition(g *geocol.Graph, nparts int) (*Mapping, error) {
+	p, err := rp.spec.ValidateFor(g, nparts)
+	if err != nil {
+		return nil, err
+	}
+	ml, isML := p.(partition.Multilevel)
+	var part []int
+	rp.s.timed(TimerPartition, func() {
+		switch {
+		case isML && rp.canWarm(g, nparts):
+			part = ml.Repartition(rp.s.C, g, nparts, rp.ladder, rp.prevPart)
+			rp.warmRuns++
+			rp.stats.Warm++
+		case isML:
+			part, rp.ladder = ml.PartitionLadder(rp.s.C, g, nparts)
+			rp.warmRuns = 0
+			rp.stats.Cold++
+		default:
+			part = p.Partition(rp.s.C, g, nparts)
+			rp.stats.Cold++
+		}
+	})
+	if isML {
+		rp.prevPart = part
+	}
+	return &Mapping{n: g.N, home: g.Home, part: part}, nil
+}
+
+// canWarm reports whether the retained ladder may serve g/nparts now.
+func (rp *Repartitioner) canWarm(g *geocol.Graph, nparts int) bool {
+	if !rp.ladder.Reusable(g, nparts) || len(rp.prevPart) != g.LocalN(rp.s.C.Rank()) {
+		return false
+	}
+	return rp.MaxWarm == 0 || rp.warmRuns < rp.MaxWarm
+}

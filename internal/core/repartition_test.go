@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"chaos/internal/machine"
+	"chaos/internal/partition"
+)
+
+// ringInput fills e1/e2 with an n-vertex ring (edge i: i — i+1 mod n)
+// and returns the GeoColInput. Refilling with the same closure bumps
+// the lastmod timestamps, which is how the tests model "the mesh may
+// have changed".
+func ringInput(s *Session, n int) (GeoColInput, *IntArray, *IntArray) {
+	e1 := s.NewIntArray("e1", n)
+	e2 := s.NewIntArray("e2", n)
+	e1.FillByGlobal(func(g int) int { return g })
+	e2.FillByGlobal(func(g int) int { return (g + 1) % n })
+	return GeoColInput{Link1: e1, Link2: e2}, e1, e2
+}
+
+// TestRepartitionerModes pins the hit/warm/cold dispatch of the
+// Repartitioner handle: unchanged inputs hit the cache, changed
+// inputs warm-start off the retained ladder, MaxWarm forces a cold
+// ladder rebuild, Invalidate drops everything, and a part-count
+// change can never be served warm.
+func TestRepartitionerModes(t *testing.T) {
+	const n, procs = 512, 4
+	// CoarsenTo/ParallelThreshold are lowered so the distributed
+	// ladder path (the one with retained state) engages at this size:
+	// serial handoff = max(8*16, 64) = 128 < 512.
+	spec := partition.Spec{Method: partition.MethodMultilevel, CoarsenTo: 16, ParallelThreshold: 64}
+	err := machine.Run(machine.IPSC860(procs), func(c *machine.Ctx) {
+		s := NewSession(c)
+		in, e1, _ := ringInput(s, n)
+
+		rp, err := s.NewRepartitioner(spec)
+		if err != nil {
+			panic(err)
+		}
+		rp.MaxWarm = 2
+
+		m1, err := rp.Map(n, in, procs)
+		if err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st != (RepartitionerStats{Cold: 1}) {
+			t.Errorf("after first Map: stats %+v, want 1 cold", st)
+		}
+
+		// Unchanged inputs: the cached mapping comes back untouched.
+		m2, err := rp.Map(n, in, procs)
+		if err != nil {
+			panic(err)
+		}
+		if m2 != m1 {
+			t.Error("unchanged inputs did not return the cached mapping")
+		}
+		if st := rp.Stats(); st.Hits != 1 {
+			t.Errorf("stats %+v, want 1 hit", st)
+		}
+
+		// Touched inputs: warm ladder reuse, twice (the MaxWarm cap).
+		for i := 0; i < 2; i++ {
+			e1.FillByGlobal(func(g int) int { return g })
+			if _, err := rp.Map(n, in, procs); err != nil {
+				panic(err)
+			}
+		}
+		if st := rp.Stats(); st.Warm != 2 || st.Cold != 1 {
+			t.Errorf("stats %+v, want 2 warm / 1 cold", st)
+		}
+
+		// Third change: MaxWarm=2 reached, so the ladder is rebuilt.
+		e1.FillByGlobal(func(g int) int { return g })
+		if _, err := rp.Map(n, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Cold != 2 {
+			t.Errorf("stats %+v, want cold rebuild after MaxWarm", st)
+		}
+
+		// A different part count is never served from cache or ladder.
+		m3, err := rp.Map(n, in, procs/2)
+		if err != nil {
+			panic(err)
+		}
+		if m3 == m1 {
+			t.Error("nparts change returned the cached mapping")
+		}
+		if st := rp.Stats(); st.Cold != 3 {
+			t.Errorf("stats %+v, want cold on nparts change", st)
+		}
+
+		// Invalidate forces cold even with unchanged inputs.
+		rp.Invalidate()
+		if _, err := rp.Map(n, in, procs/2); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Cold != 4 {
+			t.Errorf("stats %+v, want cold after Invalidate", st)
+		}
+
+		// A changed vertex count with untouched inputs is never served
+		// from cache — the cached mapping would be wrong-sized.
+		mBig, err := rp.Map(2*n, in, procs/2)
+		if err != nil {
+			panic(err)
+		}
+		if mBig.Size() != 2*n {
+			t.Errorf("mapping size %d after n change, want %d", mBig.Size(), 2*n)
+		}
+		if st := rp.Stats(); st.Cold != 5 {
+			t.Errorf("stats %+v, want cold on vertex-count change", st)
+		}
+
+		// The produced mapping must stay a balanced 4-way partition.
+		parts := map[int]int{}
+		for _, p := range m1.LocalPart() {
+			parts[p]++
+		}
+		for p := range parts {
+			if p < 0 || p >= procs {
+				t.Errorf("part %d out of range", p)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepartitionerNonMultilevel pins that the handle degrades to the
+// plain guard for methods without ladder support: changed inputs
+// always run cold, never warm.
+func TestRepartitionerNonMultilevel(t *testing.T) {
+	const n, procs = 128, 4
+	err := machine.Run(machine.IPSC860(procs), func(c *machine.Ctx) {
+		s := NewSession(c)
+		in, e1, _ := ringInput(s, n)
+		rp, err := s.NewRepartitioner(partition.Spec{Method: partition.MethodRSB})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := rp.Map(n, in, procs); err != nil {
+			panic(err)
+		}
+		e1.FillByGlobal(func(g int) int { return g })
+		if _, err := rp.Map(n, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Warm != 0 || st.Cold != 2 {
+			t.Errorf("stats %+v, want 2 cold / 0 warm for RSB", st)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepartitionerMatchesConstructAndPartition pins the subsumption
+// contract: a cold Repartitioner.Map produces the identical mapping
+// the deprecated ConstructAndPartition path computes.
+func TestRepartitionerMatchesConstructAndPartition(t *testing.T) {
+	const n, procs = 256, 4
+	err := machine.Run(machine.IPSC860(procs), func(c *machine.Ctx) {
+		s := NewSession(c)
+		in, _, _ := ringInput(s, n)
+
+		var mr MapperRecord
+		old, err := s.ConstructAndPartition(&mr, n, in, "RSB", procs)
+		if err != nil {
+			panic(err)
+		}
+		rp, err := s.NewRepartitioner(partition.Spec{Method: partition.MethodRSB})
+		if err != nil {
+			panic(err)
+		}
+		nu, err := rp.Map(n, in, procs)
+		if err != nil {
+			panic(err)
+		}
+		a, b := old.LocalPart(), nu.LocalPart()
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("partitions differ at local %d: %d vs %d", i, a[i], b[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,17 +7,21 @@ import (
 	"chaos/internal/core"
 	"chaos/internal/lang"
 	"chaos/internal/machine"
+	"chaos/internal/partition"
 )
 
 // meshProgram renders the Fortran-90D source of the unstructured-mesh
 // template (the paper's Figure 4/5 code) for the given workload,
-// partitioner and executor iteration count. The flux expressions are
-// the same EulerFlux the hand path uses, written in the source
-// language, so the compiler path pays the (slight) interpretation
-// overhead a compiler-generated executor pays relative to hand code.
-func meshProgram(w *Workload, partitioner string, iters int) string {
-	clause := fmt.Sprintf("LINK(nedge, end_pt1, end_pt2)")
-	if geometric(partitioner) {
+// partitioner spec and executor iteration count. The spec's string
+// form goes straight into the USING clause (the front end parses
+// option lists), and the CONSTRUCT clause follows the partitioner's
+// declared capabilities. The flux expressions are the same EulerFlux
+// the hand path uses, written in the source language, so the compiler
+// path pays the (slight) interpretation overhead a compiler-generated
+// executor pays relative to hand code.
+func meshProgram(w *Workload, sp partition.Spec, iters int) string {
+	clause := "LINK(nedge, end_pt1, end_pt2)"
+	if caps, err := inputCaps(sp); err == nil && caps.NeedsGeometry {
 		clause = "GEOMETRY(3, xc, yc, zc)"
 	}
 	return fmt.Sprintf(`
@@ -44,7 +48,7 @@ C$    REDISTRIBUTE reg(distfmt)
         END FORALL
       END DO
       END
-`, w.NNode, w.NIter, iters, clause, partitioner)
+`, w.NNode, w.NIter, iters, clause, sp.String())
 }
 
 // runCompiler drives the experiment through the Fortran-90D front end:
@@ -54,7 +58,7 @@ func runCompiler(cfg Config) (Phases, error) {
 	if w.MD {
 		return Phases{}, fmt.Errorf("experiments: compiler mode supports the mesh template only")
 	}
-	prog, err := lang.Compile(meshProgram(w, cfg.Partitioner, cfg.Iters))
+	prog, err := lang.Compile(meshProgram(w, cfg.Spec, cfg.Iters))
 	if err != nil {
 		return Phases{}, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"chaos/internal/partition"
 )
 
 // Amortization decomposes a configuration's cost into the one-time
@@ -27,16 +29,16 @@ func (a Amortization) Cost(iters int) float64 {
 
 // MeasureAmortization runs the pipeline once with a probe iteration
 // count and extracts the fixed/per-iteration decomposition.
-func MeasureAmortization(procs int, w *Workload, partitioner string, probeIters int) (Amortization, error) {
+func MeasureAmortization(procs int, w *Workload, sp partition.Spec, probeIters int) (Amortization, error) {
 	ph, err := Run(Config{
-		Procs: procs, Workload: w, Partitioner: partitioner,
+		Procs: procs, Workload: w, Spec: sp,
 		Reuse: true, Iters: probeIters,
 	})
 	if err != nil {
 		return Amortization{}, err
 	}
 	return Amortization{
-		Partitioner: partitioner,
+		Partitioner: sp.String(),
 		Fixed:       ph.GraphGen + ph.Partition + ph.Remap + ph.Inspector,
 		PerIter:     ph.Executor / float64(probeIters),
 	}, nil
@@ -60,10 +62,10 @@ func Crossover(a, b Amortization) int {
 // workload: per method, the fixed cost, per-iteration executor cost,
 // totals at 1/100/1000 iterations, and pairwise crossovers against the
 // cheapest-to-run method.
-func CrossoverReport(procs int, w *Workload, partitioners []string, probeIters int) (string, error) {
+func CrossoverReport(procs int, w *Workload, specs []partition.Spec, probeIters int) (string, error) {
 	var ams []Amortization
-	for _, p := range partitioners {
-		a, err := MeasureAmortization(procs, w, p, probeIters)
+	for _, sp := range specs {
+		a, err := MeasureAmortization(procs, w, sp, probeIters)
 		if err != nil {
 			return "", err
 		}

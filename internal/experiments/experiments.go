@@ -15,6 +15,7 @@ import (
 	"chaos/internal/machine"
 	"chaos/internal/md"
 	"chaos/internal/mesh"
+	"chaos/internal/partition"
 )
 
 // Workload is one irregular-loop template: the paper's unstructured
@@ -107,12 +108,14 @@ func Water648() *Workload {
 
 // Config selects one experiment cell.
 type Config struct {
-	Procs       int
-	Workload    *Workload
-	Partitioner string // "RCB", "RSB", "RSB-KL", "MULTILEVEL", "BLOCK", "RANDOM", "INERTIAL"
-	Reuse       bool   // communication-schedule reuse on/off
-	Iters       int    // executor iterations (paper: 100)
-	Compiler    bool   // drive through the Fortran-90D front end
+	Procs    int
+	Workload *Workload
+	// Spec selects and tunes the partitioner (partition.MustSpec("RCB"),
+	// partition.Spec{Method: partition.MethodMultilevel, ...}, ...).
+	Spec     partition.Spec
+	Reuse    bool // communication-schedule reuse on/off
+	Iters    int  // executor iterations (paper: 100)
+	Compiler bool // drive through the Fortran-90D front end
 	// IterPolicy defaults to almost-owner-computes.
 	IterPolicy iterpart.Policy
 	// SkipIterPart disables Phase B (ablation).
@@ -148,15 +151,14 @@ func Run(cfg Config) (Phases, error) {
 	return runHand(cfg)
 }
 
-// geometric reports whether the partitioner consumes GEOMETRY rather
-// than LINK connectivity.
-func geometric(name string) bool {
-	switch name {
-	case "RCB", "INERTIAL":
-		return true
-	default:
-		return false
+// inputCaps resolves which GeoCoL components the configured
+// partitioner consumes, from its declared capability metadata.
+func inputCaps(sp partition.Spec) (partition.Capabilities, error) {
+	p, err := sp.Resolve()
+	if err != nil {
+		return partition.Capabilities{}, err
 	}
+	return partition.Caps(p), nil
 }
 
 // runHand is the hand-parallelized path: direct CHAOS runtime calls,
@@ -167,7 +169,11 @@ func runHand(cfg Config) (Phases, error) {
 		out Phases
 	)
 	w := cfg.Workload
-	err := machine.Run(machine.IPSC860(cfg.Procs), func(c *machine.Ctx) {
+	caps, err := inputCaps(cfg.Spec)
+	if err != nil {
+		return Phases{}, err
+	}
+	err = machine.Run(machine.IPSC860(cfg.Procs), func(c *machine.Ctx) {
 		s := core.NewSession(c)
 		x := s.NewArray("x", w.NNode)
 		y := s.NewArray("y", w.NNode)
@@ -179,7 +185,7 @@ func runHand(cfg Config) (Phases, error) {
 		e2.FillByGlobal(func(g int) int { return w.E2[g] })
 
 		var in core.GeoColInput
-		if geometric(cfg.Partitioner) {
+		if caps.NeedsGeometry {
 			xc := s.NewArray("xc", w.NNode)
 			yc := s.NewArray("yc", w.NNode)
 			zc := s.NewArray("zc", w.NNode)
@@ -187,11 +193,11 @@ func runHand(cfg Config) (Phases, error) {
 			yc.FillByGlobal(func(g int) float64 { return w.Y[g] })
 			zc.FillByGlobal(func(g int) float64 { return w.Z[g] })
 			in = core.GeoColInput{Geometry: []*core.Array{xc, yc, zc}}
-		} else if cfg.Partitioner != "BLOCK" && cfg.Partitioner != "RANDOM" {
+		} else if caps.NeedsLink {
 			in = core.GeoColInput{Link1: e1, Link2: e2}
 		}
 		g := s.Construct(w.NNode, in)
-		m, err := s.SetByPartitioning(g, cfg.Partitioner, cfg.Procs)
+		m, err := s.SetPartitioning(g, cfg.Spec, cfg.Procs)
 		if err != nil {
 			panic(err)
 		}

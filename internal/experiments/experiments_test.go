@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"chaos/internal/partition"
 )
 
 // small returns a cheap mesh workload for shape tests.
@@ -12,7 +14,7 @@ func small() *Workload { return MeshWorkload(1000) }
 func TestScheduleReuseWinsBigly(t *testing.T) {
 	// Paper Table 1 shape: no-reuse is an order of magnitude (or
 	// more) slower over repeated executor iterations.
-	base := Config{Procs: 4, Workload: small(), Partitioner: "RCB", Iters: 20}
+	base := Config{Procs: 4, Workload: small(), Spec: partition.MustSpec("RCB"), Iters: 20}
 	withCfg := base
 	withCfg.Reuse = true
 	withoutCfg := base
@@ -38,11 +40,11 @@ func TestIrregularBeatsBlockExecutor(t *testing.T) {
 	// Paper Table 2/4 shape: RCB or RSB executor is 2-3x faster than
 	// BLOCK executor on the renumbered mesh.
 	for _, part := range []string{"RCB", "RSB"} {
-		irr, err := Run(Config{Procs: 8, Workload: small(), Partitioner: part, Reuse: true, Iters: 10})
+		irr, err := Run(Config{Procs: 8, Workload: small(), Spec: partition.MustSpec(part), Reuse: true, Iters: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
-		blk, err := Run(Config{Procs: 8, Workload: small(), Partitioner: "BLOCK", Reuse: true, Iters: 10})
+		blk, err := Run(Config{Procs: 8, Workload: small(), Spec: partition.MustSpec("BLOCK"), Reuse: true, Iters: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,11 +59,11 @@ func TestRSBPartitionerCostlierThanRCB(t *testing.T) {
 	// Paper Table 2 shape: spectral bisection pays far more
 	// partitioning time than coordinate bisection (258s vs 1.6s),
 	// with an executor at least as good.
-	rcb, err := Run(Config{Procs: 8, Workload: small(), Partitioner: "RCB", Reuse: true, Iters: 10})
+	rcb, err := Run(Config{Procs: 8, Workload: small(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rsb, err := Run(Config{Procs: 8, Workload: small(), Partitioner: "RSB", Reuse: true, Iters: 10})
+	rsb, err := Run(Config{Procs: 8, Workload: small(), Spec: partition.MustSpec("RSB"), Reuse: true, Iters: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +79,11 @@ func TestRSBPartitionerCostlierThanRCB(t *testing.T) {
 func TestCompilerWithinTenPercentOfHand(t *testing.T) {
 	// The paper's headline: compiler-generated code within about 10%
 	// of the hand-parallelized version.
-	hand, err := Run(Config{Procs: 4, Workload: small(), Partitioner: "RCB", Reuse: true, Iters: 20})
+	hand, err := Run(Config{Procs: 4, Workload: small(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp, err := Run(Config{Procs: 4, Workload: small(), Partitioner: "RCB", Reuse: true, Iters: 20, Compiler: true})
+	comp, err := Run(Config{Procs: 4, Workload: small(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 20, Compiler: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,13 +98,13 @@ func TestCompilerWithinTenPercentOfHand(t *testing.T) {
 }
 
 func TestCompilerRejectsMDWorkload(t *testing.T) {
-	if _, err := Run(Config{Procs: 2, Workload: Water648(), Partitioner: "RCB", Reuse: true, Iters: 1, Compiler: true}); err == nil {
+	if _, err := Run(Config{Procs: 2, Workload: Water648(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 1, Compiler: true}); err == nil {
 		t.Fatal("compiler mode accepted MD workload")
 	}
 }
 
 func TestMDWorkloadRuns(t *testing.T) {
-	ph, err := Run(Config{Procs: 4, Workload: Water648(), Partitioner: "RCB", Reuse: true, Iters: 5})
+	ph, err := Run(Config{Procs: 4, Workload: Water648(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +115,11 @@ func TestMDWorkloadRuns(t *testing.T) {
 
 func TestScalingWithProcs(t *testing.T) {
 	// Executor time must drop as processors are added.
-	p4, err := Run(Config{Procs: 4, Workload: small(), Partitioner: "RCB", Reuse: true, Iters: 10})
+	p4, err := Run(Config{Procs: 4, Workload: small(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p16, err := Run(Config{Procs: 16, Workload: small(), Partitioner: "RCB", Reuse: true, Iters: 10})
+	p16, err := Run(Config{Procs: 16, Workload: small(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +129,7 @@ func TestScalingWithProcs(t *testing.T) {
 }
 
 func TestDeterministicPhases(t *testing.T) {
-	cfg := Config{Procs: 4, Workload: small(), Partitioner: "RCB", Reuse: true, Iters: 3}
+	cfg := Config{Procs: 4, Workload: small(), Spec: partition.MustSpec("RCB"), Reuse: true, Iters: 3}
 	a, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

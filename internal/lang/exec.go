@@ -6,6 +6,7 @@ import (
 	"chaos/internal/core"
 	"chaos/internal/dist"
 	"chaos/internal/geocol"
+	"chaos/internal/partition"
 )
 
 // ExternFunc is a host function callable from FORALL expressions; iter
@@ -138,7 +139,11 @@ func (st *execState) execStmt(s stmt) error {
 		if !ok {
 			return fmt.Errorf("line %d: SET: GeoCoL %q not constructed", x.ln, x.G)
 		}
-		m, err := st.s.SetByPartitioning(g, x.Partitioner, st.s.C.Procs())
+		sp, err := partition.ParseSpec(x.Partitioner)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", x.ln, err)
+		}
+		m, err := st.s.SetPartitioning(g, sp, st.s.C.Procs())
 		if err != nil {
 			return fmt.Errorf("line %d: %w", x.ln, err)
 		}

@@ -517,3 +517,63 @@ func TestScheduleReuseThroughDoLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSetWithSpecOptions pins the option-list extension of the SET
+// directive: a parenthesized key=value list after the partitioner
+// name travels into partition.ParseSpec, and an unknown key fails at
+// execution with the spec error, not a panic.
+func TestSetWithSpecOptions(t *testing.T) {
+	src := `
+      PROGRAM specopt
+      PARAMETER (n = 36, m = 60)
+      REAL*8 x(n)
+      INTEGER end_pt1(m), end_pt2(m)
+      DYNAMIC, DECOMPOSITION reg(n), reg2(m)
+      DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+      ALIGN x WITH reg
+      ALIGN end_pt1, end_pt2 WITH reg2
+      READ end_pt1, end_pt2
+      FORALL i = 1, n
+        x(i) = 1.0
+      END FORALL
+C$    CONSTRUCT G (n, LINK(m, end_pt1, end_pt2))
+C$    SET distfmt BY PARTITIONING G USING MULTILEVEL(CoarsenTo=8, VCycle=TRUE)
+C$    REDISTRIBUTE reg(distfmt)
+      END
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := grid6x6()
+	env := &Env{
+		IntData: map[string]func(int) int{
+			"END_PT1": func(g int) int { return e1[g] },
+			"END_PT2": func(g int) int { return e2[g] },
+		},
+	}
+	err = machine.Run(machine.IPSC860(2), func(c *machine.Ctx) {
+		s := core.NewSession(c)
+		if err := prog.Execute(s, env); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An unknown option key must surface partition.ParseSpec's error.
+	bad, err := Compile(strings.Replace(src, "CoarsenTo=8", "Bogus=8", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = machine.Run(machine.IPSC860(2), func(c *machine.Ctx) {
+		s := core.NewSession(c)
+		if e := bad.Execute(s, env); e == nil || !strings.Contains(e.Error(), "unknown spec option") {
+			t.Errorf("bogus option: %v, want unknown-spec-option error", e)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

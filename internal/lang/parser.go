@@ -602,6 +602,19 @@ func (p *parser) parseSet(ln int) (stmt, error) {
 		}
 		pn += "-" + more
 	}
+	// An optional parenthesized option list — USING MULTILEVEL
+	// (CoarsenTo=200, VCycle=TRUE) — travels verbatim into the spec
+	// string; partition.ParseSpec validates the keys at execution.
+	if p.accept("(") {
+		body := ""
+		for !p.atEOL() && p.peek().text != ")" {
+			body += p.next().text
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		pn += "(" + body + ")"
+	}
 	s.Partitioner = pn
 	return s, p.expectEOL()
 }

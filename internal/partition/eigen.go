@@ -66,12 +66,38 @@ func (sg *subgraph) laplacianMatVec(x, y []float64) {
 	sg.flops += int64(2*len(sg.adj) + 2*sg.n)
 }
 
+// fiedlerMaxRestarts bounds the implicit-restart iterations of the
+// capped Lanczos solve: each restart re-runs the full sweep, so the
+// cap also bounds the worst-case flop charge at 1+fiedlerMaxRestarts
+// sweeps.
+const fiedlerMaxRestarts = 2
+
+// fiedlerRestartTol is the relative Ritz-residual threshold
+// (resid / theta) above which a cap-limited sweep is considered
+// unconverged and restarted. Heavy multi-edge coarse graphs — whose
+// clustered edge weights spread the Laplacian spectrum — routinely
+// blow through this at depth 60; well-conditioned meshes mostly stay
+// under it.
+const fiedlerRestartTol = 0.25
+
 // fiedler approximates the Fiedler vector (eigenvector of the second
 // smallest Laplacian eigenvalue) with a Lanczos iteration that is kept
 // orthogonal to the constant vector and fully reorthogonalized, then
 // solves the small tridiagonal eigenproblem with an implicit-shift QL
-// sweep. Deterministic: the start vector comes from a seeded stream.
+// sweep. When the Krylov depth cap (60) is hit without the Fiedler
+// pair converging — the ill-conditioned heavy multi-edge coarse
+// graphs of the multilevel ladder — the iteration restarts from the
+// best Ritz vector instead of returning it as-is, up to
+// fiedlerMaxRestarts times. Deterministic: the start vector comes
+// from a seeded stream.
 func (sg *subgraph) fiedler(seed uint64) []float64 {
+	return sg.fiedlerRestarted(seed, fiedlerMaxRestarts)
+}
+
+// fiedlerRestarted is fiedler with an explicit restart budget;
+// maxRestarts = 0 reproduces the historical single-sweep behavior
+// (kept callable for the regression tests).
+func (sg *subgraph) fiedlerRestarted(seed uint64, maxRestarts int) []float64 {
 	n := sg.n
 	if n <= 2 {
 		out := make([]float64, n)
@@ -86,14 +112,11 @@ func (sg *subgraph) fiedler(seed uint64) []float64 {
 	if n > 1000 {
 		m = 60
 	}
+	capped := m == 60 && m < n-1
 	if m > n-1 {
 		m = n - 1
 	}
 	rng := xrand.New(seed)
-
-	basis := make([][]float64, 0, m)
-	alpha := make([]float64, 0, m)
-	beta := make([]float64, 0, m) // beta[k] links basis[k] and basis[k+1]
 
 	v := make([]float64, n)
 	for i := range v {
@@ -102,6 +125,44 @@ func (sg *subgraph) fiedler(seed uint64) []float64 {
 	projectOutConstant(v)
 	normalize(v)
 
+	out, theta, resid := sg.lanczosSweep(v, m)
+	if capped {
+		for r := 0; r < maxRestarts && resid > fiedlerRestartTol*math.Abs(theta); r++ {
+			// Restart from the best Ritz vector: the sweep's Krylov
+			// space is re-seeded with its own best approximation, so
+			// each restart contracts toward the Fiedler pair without
+			// growing the basis past the cap. The restarted space
+			// contains its seed, so the Ritz value (the Rayleigh
+			// quotient, which the median split's quality rides on) is
+			// non-increasing in exact arithmetic; the guard below
+			// keeps the previous vector if roundoff breaks that.
+			v = append(v[:0], out...)
+			projectOutConstant(v)
+			normalize(v)
+			out2, theta2, resid2 := sg.lanczosSweep(v, m)
+			if theta2 >= theta {
+				break
+			}
+			out, theta, resid = out2, theta2, resid2
+		}
+	}
+	return out
+}
+
+// lanczosSweep runs one depth-m Lanczos iteration from start vector v
+// (unit norm, orthogonal to the constant vector; not modified) and
+// returns the best Ritz vector together with its Ritz value theta and
+// residual-norm estimate ‖L y − θ y‖ ≈ β_m |z_m| used by the restart
+// logic.
+func (sg *subgraph) lanczosSweep(v0 []float64, m int) (out []float64, theta, resid float64) {
+	n := sg.n
+
+	basis := make([][]float64, 0, m)
+	alpha := make([]float64, 0, m)
+	beta := make([]float64, 0, m) // beta[k] links basis[k] and basis[k+1]
+	lastB := 0.0                  // the β that would extend the basis past its end
+
+	v := append([]float64(nil), v0...)
 	work := make([]float64, n)
 	for k := 0; k < m; k++ {
 		basis = append(basis, append([]float64(nil), v...))
@@ -129,6 +190,7 @@ func (sg *subgraph) fiedler(seed uint64) []float64 {
 		}
 		sg.flops += int64((len(basis) + 3) * 2 * n)
 		b := math.Sqrt(dot(work, work))
+		lastB = b
 		if b < 1e-12 {
 			break // invariant subspace found
 		}
@@ -156,7 +218,7 @@ func (sg *subgraph) fiedler(seed uint64) []float64 {
 			best = i
 		}
 	}
-	out := make([]float64, n)
+	out = make([]float64, n)
 	for j := 0; j < k; j++ {
 		c := z[j][best]
 		if c == 0 {
@@ -168,7 +230,10 @@ func (sg *subgraph) fiedler(seed uint64) []float64 {
 		}
 	}
 	sg.flops += int64(2 * k * n)
-	return out
+	// The classic Lanczos error bound: the Ritz pair's residual norm
+	// equals the next β times the last component of the tridiagonal
+	// eigenvector.
+	return out, d[best], lastB * math.Abs(z[k-1][best])
 }
 
 func projectOutConstant(v []float64) {

@@ -64,20 +64,38 @@ type Multilevel struct {
 	// default. Only effective in the FM configuration — with
 	// FMPasses < 0 (legacy greedy refiner) the knob is ignored.
 	VCycle bool
+	// Seed salts the randomized (but symmetric) tie-breaking of the
+	// distributed heavy-edge matching, decorrelating the ladders of
+	// repeated runs. 0 keeps the default stream.
+	Seed uint64
+	// Imbalance is the balance tolerance of the distributed k-way
+	// refinement (fractional: 0.07 allows part weights within ±7% of
+	// ideal). 0 means the default of 0.07; it must stay below 0.5.
+	Imbalance float64
 }
 
 func (Multilevel) Name() string { return "MULTILEVEL" }
 
+// Capabilities: MULTILEVEL consumes LINK connectivity, coarsens
+// distributedly on multi-rank machines, and accepts the Spec tuning
+// knobs.
+func (Multilevel) Capabilities() Capabilities {
+	return Capabilities{NeedsLink: true, Parallel: true, Tunable: true}
+}
+
+// tol resolves the Imbalance default for the distributed refiners.
+func (ml Multilevel) tol() float64 {
+	if ml.Imbalance == 0 {
+		return 0.07
+	}
+	return ml.Imbalance
+}
+
 func (ml Multilevel) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
-	checkArgs(g, nparts)
-	if !g.HasLink {
-		panic("partition: MULTILEVEL requires a GeoCoL LINK component")
-	}
-	thr := ml.parallelThreshold()
-	if c.Procs() > 1 && thr > 0 && g.N >= thr && g.N > ml.serialTo(nparts) {
-		return ml.parallelPartition(c, g, nparts)
-	}
-	return serialBisectPartition(c, g, nparts, ml.bisect)
+	// One dispatch rule for both entry points: PartitionLadder owns the
+	// serial-vs-distributed decision; Partition just drops the ladder.
+	part, _ := ml.PartitionLadder(c, g, nparts)
+	return part
 }
 
 // parallelThreshold resolves the ParallelThreshold default.

@@ -19,13 +19,48 @@ type Partitioner interface {
 	Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int
 }
 
+// Capabilities declares what a partitioner consumes and supports, so a
+// Spec can be validated against the GeoCoL graph at the call site
+// instead of panicking deep inside the library.
+type Capabilities struct {
+	// NeedsGeometry: consumes the GEOMETRY component (coordinates).
+	NeedsGeometry bool
+	// NeedsLink: consumes the LINK component (connectivity).
+	NeedsLink bool
+	// Parallel: the partitioner has a distributed path, so its virtual
+	// time falls (or at least does not grow) with the rank count.
+	Parallel bool
+	// Tunable: accepts the multilevel tuning knobs of Spec (CoarsenTo,
+	// ParallelThreshold, FMPasses, VCycle, Imbalance).
+	Tunable bool
+}
+
+// PartitionerV2 is the v2 registry interface: a Partitioner that also
+// reports its capabilities. All built-in partitioners implement it;
+// legacy custom partitioners registered without capability metadata
+// are treated as declaring no requirements (never rejected early).
+type PartitionerV2 interface {
+	Partitioner
+	Capabilities() Capabilities
+}
+
+// Caps reports p's capabilities, or the zero Capabilities for a legacy
+// v1 partitioner that does not declare any.
+func Caps(p Partitioner) Capabilities {
+	if v2, ok := p.(PartitionerV2); ok {
+		return v2.Capabilities()
+	}
+	return Capabilities{}
+}
+
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Partitioner{}
 )
 
 // Register adds a partitioner under its Name; it replaces any previous
-// entry, which is how a user links a customized partitioner.
+// entry, which is how a user links a customized partitioner. Safe for
+// concurrent use with Lookup and Names.
 func Register(p Partitioner) {
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -39,14 +74,21 @@ func Lookup(name string) (Partitioner, error) {
 	defer regMu.RUnlock()
 	p, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("partition: unknown partitioner %q (have %v)", name, Names())
+		return nil, fmt.Errorf("partition: unknown partitioner %q (have %v)", name, namesLocked())
 	}
 	return p, nil
 }
 
-// Names returns the registered partitioner names, sorted.
+// Names returns the registered partitioner names, sorted. Safe for
+// concurrent use with Register.
 func Names() []string {
-	// Callers may hold regMu via Lookup; gather without locking twice.
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+// namesLocked gathers the sorted name list; callers hold regMu.
+func namesLocked() []string {
 	names := make([]string, 0, len(registry))
 	for n := range registry {
 		names = append(names, n)
@@ -133,6 +175,9 @@ type BlockPartitioner struct{}
 
 func (BlockPartitioner) Name() string { return "BLOCK" }
 
+// Capabilities: BLOCK consumes nothing and is trivially distributed.
+func (BlockPartitioner) Capabilities() Capabilities { return Capabilities{Parallel: true} }
+
 func (BlockPartitioner) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	checkArgs(g, nparts)
 	b := dist.NewBlock(g.N, nparts)
@@ -153,6 +198,9 @@ type RandomPartitioner struct {
 }
 
 func (RandomPartitioner) Name() string { return "RANDOM" }
+
+// Capabilities: RANDOM consumes nothing and is trivially distributed.
+func (RandomPartitioner) Capabilities() Capabilities { return Capabilities{Parallel: true} }
 
 func (rp RandomPartitioner) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	checkArgs(g, nparts)

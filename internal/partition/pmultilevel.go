@@ -40,7 +40,12 @@ type plevel struct {
 // levels, each refined in place (refineLevel). With VCycle set, a
 // second, partition-preserving ladder re-coarsens the refined
 // partition and refines it again at every scale (vcycleRefine).
-func (ml Multilevel) parallelPartition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
+// parallelPartitionLadder is the distributed V-cycle with ladder
+// retention: the coarsening ladder (fine graphs, ghost exchanges,
+// fine-to-coarse maps, coarse graphs) is packaged into a Ladder for
+// incremental warm repartitioning (ladder.go). Plain Partition calls
+// simply discard it.
+func (ml Multilevel) parallelPartitionLadder(c *machine.Ctx, g *geocol.Graph, nparts int) ([]int, *Ladder) {
 	serialTo := ml.serialTo(nparts)
 
 	totalW := 0.0
@@ -50,7 +55,7 @@ func (ml Multilevel) parallelPartition(c *machine.Ctx, g *geocol.Graph, nparts i
 	totalW = c.SumFloat(totalW)
 	maxW := totalW * 0.01
 
-	levels, cur, _ := buildLadder(c, g, serialTo, maxW, 0, nil)
+	levels, cur, _ := buildLadder(c, g, serialTo, maxW, ml.Seed, nil)
 
 	// Coarsest-level solve: the serial multilevel V-cycle on the
 	// gathered coarse graph (weighted vertices and edges preserve the
@@ -61,7 +66,7 @@ func (ml Multilevel) parallelPartition(c *machine.Ctx, g *geocol.Graph, nparts i
 	// fight for.
 	part := serialBisectPartition(c, cur, nparts, ml.bisect)
 	if ml.FMPasses >= 0 {
-		serialKway(c, cur, part, nparts, 8)
+		serialKway(c, cur, part, nparts, 8, ml.tol())
 	}
 
 	// Uncoarsening: pull each home vertex's part from its coarse
@@ -75,7 +80,11 @@ func (ml Multilevel) parallelPartition(c *machine.Ctx, g *geocol.Graph, nparts i
 	if ml.VCycle && ml.FMPasses >= 0 {
 		ml.vcycleRefine(c, g, part, nparts, serialTo, maxW)
 	}
-	return part
+	var ld *Ladder
+	if len(levels) > 0 {
+		ld = &Ladder{n: g.N, nparts: nparts, levels: levels, coarsest: cur}
+	}
+	return part, ld
 }
 
 // buildLadder builds a distributed coarsening ladder from g down to
@@ -125,9 +134,9 @@ func (ml Multilevel) refineLevel(c *machine.Ctx, fine *geocol.Graph, ge *geocol.
 		passes = ml.FMPasses
 	}
 	if ml.FMPasses < 0 {
-		distRefine(c, fine, ge, part, nparts, passes)
+		distRefine(c, fine, ge, part, nparts, passes, ml.tol())
 	} else {
-		parallelFM(c, fine, ge, part, nparts, passes)
+		parallelFM(c, fine, ge, part, nparts, passes, ml.tol())
 	}
 }
 
@@ -135,10 +144,10 @@ func (ml Multilevel) refineLevel(c *machine.Ctx, fine *geocol.Graph, ge *geocol.
 // with the serial k-way FM (kwayRefine), computed identically on every
 // rank under the replicated-cost convention; each rank then keeps its
 // home slice of the result. Collective.
-func serialKway(c *machine.Ctx, g *geocol.Graph, part []int, nparts, passes int) {
+func serialKway(c *machine.Ctx, g *geocol.Graph, part []int, nparts, passes int, tol float64) {
 	f := g.Gather(c)
 	full := c.AllGatherInts(part)
-	c.Flops(int(kwayRefine(f.XAdj, f.Adj, f.EdgeW, f.Weights, full, nparts, passes)))
+	c.Flops(int(kwayRefine(f.XAdj, f.Adj, f.EdgeW, f.Weights, full, nparts, passes, tol)))
 	lo := g.Home.Lo(c.Rank())
 	for l := range part {
 		part[l] = full[lo+l]
@@ -157,14 +166,14 @@ func serialKway(c *machine.Ctx, g *geocol.Graph, part []int, nparts, passes int)
 // partitioner's distributed cost for a small cut improvement, which is
 // why it sits behind the VCycle knob. Collective.
 func (ml Multilevel) vcycleRefine(c *machine.Ctx, g *geocol.Graph, part []int, nparts, serialTo int, maxW float64) {
-	levels, cur, cpart := buildLadder(c, g, serialTo, maxW, 0x9e3779b97f4a7c15, part)
+	levels, cur, cpart := buildLadder(c, g, serialTo, maxW, ml.Seed^0x9e3779b97f4a7c15, part)
 	if len(levels) == 0 {
 		return
 	}
 	if cur.N < ml.parallelThreshold() {
-		serialKway(c, cur, cpart, nparts, 8)
+		serialKway(c, cur, cpart, nparts, 8, ml.tol())
 	} else {
-		parallelFM(c, cur, geocol.NewGhostExchange(c, cur), cpart, nparts, 3)
+		parallelFM(c, cur, geocol.NewGhostExchange(c, cur), cpart, nparts, 3, ml.tol())
 	}
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
@@ -291,8 +300,7 @@ func dedupSorted(xs []int) []int {
 // re-synchronized collectively after every sub-pass, and the pass loop
 // exits as soon as a full pass moves nothing anywhere. Collective and
 // deterministic.
-func distRefine(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int) {
-	const tol = 0.07
+func distRefine(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int, tol float64) {
 	me, procs := c.Rank(), c.Procs()
 	lo := g.Home.Lo(me)
 	localN := g.LocalN(me)

@@ -134,8 +134,7 @@ func (fb *fmBuckets) reset() {
 // tail back. Deterministic: every rank computing it on identical
 // inputs produces the identical partition. Returns the flop count to
 // charge.
-func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int) int64 {
-	const tol = 0.07
+func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int, tol float64) int64 {
 	const plateau = 64
 	n := len(xadj) - 1
 	weight := func(v int) float64 {
@@ -280,8 +279,7 @@ func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int
 // 1/Procs of a part's remaining headroom inside one sub-iteration, so
 // concurrent moves cannot overshoot the window no matter how the
 // speculation resolves. Collective and deterministic.
-func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int) {
-	const tol = 0.07
+func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int, tol float64) {
 	me, procs := c.Rank(), c.Procs()
 	lo := g.Home.Lo(me)
 	localN := g.LocalN(me)

@@ -20,6 +20,11 @@ type RCB struct{}
 
 func (RCB) Name() string { return "RCB" }
 
+// Capabilities: RCB consumes GEOMETRY and runs fully distributed.
+func (RCB) Capabilities() Capabilities {
+	return Capabilities{NeedsGeometry: true, Parallel: true}
+}
+
 func (RCB) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	checkArgs(g, nparts)
 	if !g.HasGeom {
@@ -87,6 +92,11 @@ func widestDim(c *machine.Ctx, g *geocol.Graph, verts []int) int {
 type Inertial struct{}
 
 func (Inertial) Name() string { return "INERTIAL" }
+
+// Capabilities: INERTIAL consumes GEOMETRY and runs fully distributed.
+func (Inertial) Capabilities() Capabilities {
+	return Capabilities{NeedsGeometry: true, Parallel: true}
+}
 
 func (Inertial) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	checkArgs(g, nparts)

@@ -35,6 +35,10 @@ func (r RSB) Name() string {
 	return "RSB"
 }
 
+// Capabilities: RSB consumes LINK connectivity; its replicated solve
+// does not scale with the rank count.
+func (RSB) Capabilities() Capabilities { return Capabilities{NeedsLink: true} }
+
 func (r RSB) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	checkArgs(g, nparts)
 	if !g.HasLink {

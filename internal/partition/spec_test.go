@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecBareNames(t *testing.T) {
+	for _, name := range []string{"BLOCK", "RANDOM", "RCB", "INERTIAL", "RSB", "RSB-KL", "KL", "MULTILEVEL"} {
+		sp, err := ParseSpec(name)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", name, err)
+		}
+		if sp != (Spec{Method: Method(name)}) {
+			t.Errorf("ParseSpec(%q) = %+v, want bare method", name, sp)
+		}
+		if sp.String() != name {
+			t.Errorf("String() = %q, want %q", sp.String(), name)
+		}
+	}
+}
+
+func TestParseSpecOptions(t *testing.T) {
+	sp, err := ParseSpec("MULTILEVEL(CoarsenTo=200, ParallelThreshold=512, FMPasses=2, VCycle=true, Seed=7, Imbalance=0.05)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Method: MethodMultilevel, CoarsenTo: 200, ParallelThreshold: 512,
+		FMPasses: 2, VCycle: true, Seed: 7, Imbalance: 0.05}
+	if sp != want {
+		t.Errorf("parsed %+v, want %+v", sp, want)
+	}
+	// String renders a form ParseSpec accepts (round trip).
+	back, err := ParseSpec(sp.String())
+	if err != nil {
+		t.Fatalf("round trip of %q: %v", sp.String(), err)
+	}
+	if back != sp {
+		t.Errorf("round trip %+v != %+v", back, sp)
+	}
+	// Keys are case-insensitive (the Fortran-D front end upcases).
+	up, err := ParseSpec("MULTILEVEL(COARSENTO=200,VCYCLE=TRUE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.CoarsenTo != 200 || !up.VCycle {
+		t.Errorf("upcased options not applied: %+v", up)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"MULTILEVEL(CoarsenTo=200",
+		"MULTILEVEL(CoarsenTo)",
+		"MULTILEVEL(Bogus=1)",
+		"MULTILEVEL(CoarsenTo=x)",
+		"(CoarsenTo=1)",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSpecResolveAppliesOptions(t *testing.T) {
+	sp := Spec{Method: MethodMultilevel, CoarsenTo: 250, VCycle: true, Seed: 9, Imbalance: 0.03}
+	p, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, ok := p.(Multilevel)
+	if !ok {
+		t.Fatalf("resolved %T, want Multilevel", p)
+	}
+	if ml.CoarsenTo != 250 || !ml.VCycle || ml.Seed != 9 || ml.Imbalance != 0.03 {
+		t.Errorf("options not applied: %+v", ml)
+	}
+
+	rp, err := Spec{Method: MethodRandom, Seed: 42}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.(RandomPartitioner).Seed != 42 {
+		t.Errorf("RANDOM seed not applied: %+v", rp)
+	}
+}
+
+func TestSpecResolveErrors(t *testing.T) {
+	cases := []struct {
+		sp   Spec
+		frag string
+	}{
+		{Spec{}, "no method"},
+		{Spec{Method: "NOPE"}, "unknown partitioner"},
+		{Spec{Method: MethodRCB, CoarsenTo: 10}, "does not accept multilevel tuning"},
+		{Spec{Method: MethodRSB, VCycle: true}, "does not accept multilevel tuning"},
+		{Spec{Method: MethodBlock, Seed: 3}, "does not accept a Seed"},
+		{Spec{Method: MethodMultilevel, Imbalance: 0.9}, "Imbalance"},
+		{Spec{Method: MethodMultilevel, CoarsenTo: -5}, "negative"},
+	}
+	for _, c := range cases {
+		_, err := c.sp.Resolve()
+		if err == nil {
+			t.Errorf("Resolve(%+v) succeeded, want error containing %q", c.sp, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Resolve(%+v) error %q does not mention %q", c.sp, err, c.frag)
+		}
+	}
+}
+
+func TestSpecDefaultsMatchStringPath(t *testing.T) {
+	// The zero-option spec must resolve to the registry value itself,
+	// which is what guarantees typed and string paths produce
+	// bit-identical partitions.
+	for _, name := range []string{"BLOCK", "RCB", "RSB", "MULTILEVEL"} {
+		byName, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySpec, err := Spec{Method: Method(name)}.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byName != bySpec {
+			t.Errorf("%s: typed resolve %#v differs from Lookup %#v", name, bySpec, byName)
+		}
+	}
+}
