@@ -8,15 +8,23 @@ GO ?= go
 # coverage durably improves.
 COVER_FLOOR = 89.0
 
-.PHONY: check build vet lint test race cover cover-check bench bench-json quickstart tables examples docs-check api-check api-snapshot
+.PHONY: check build vet lint analyze test race cover cover-check bench bench-json quickstart tables examples docs-check api-check api-snapshot
 
-check: build lint test docs-check api-check
+check: build lint analyze test docs-check api-check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# analyze runs chaosvet, the project-specific static-analysis suite
+# (internal/analysis): SPMD collective divergence, hot-path allocation,
+# deprecated string-spec usage, and discarded exchange results. See
+# docs/ANALYZERS.md for the catalog and the //chaosvet:ignore contract.
+analyze:
+	$(GO) run ./cmd/chaosvet ./...
+	@echo "analyze OK"
 
 # lint is the explicit style gate: fails when any file needs gofmt, then
 # runs go vet.

@@ -35,9 +35,17 @@ const (
 // registry name ("MULTILEVEL") or a name with a parenthesized option
 // list ("MULTILEVEL(CoarsenTo=200,VCycle=true)"). PartitionSpec.String
 // is its inverse.
+//
+// Deprecated: construct a typed PartitionSpec literal
+// (PartitionSpec{Method: MethodRCB}) instead. The string form survives
+// for callers holding user-authored spec strings.
 func ParseSpec(s string) (PartitionSpec, error) { return partition.ParseSpec(s) }
 
 // MustSpec is ParseSpec for trusted literals; it panics on error.
+//
+// Deprecated: a trusted literal is exactly the case where a typed
+// PartitionSpec literal says the same thing with compile-time checking
+// and nothing to panic on.
 func MustSpec(s string) PartitionSpec { return partition.MustSpec(s) }
 
 // Capabilities describes what a partitioner consumes and supports;

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// DeprecatedSpec makes in-repo deprecation one-way. The typed
+// partition.Spec API replaced the Fortran-D string surface
+// (SetByPartitioning, string ParseSpec) in PR 5 and the shims carry
+// standard "Deprecated:" doc tags — but a doc tag alone only warns in
+// editors, and five PRs of migration discipline erode the first time a
+// new call site slips through review. This analyzer reports every use
+// of an in-module object whose doc comment carries a "Deprecated:"
+// paragraph, except:
+//
+//   - uses inside functions that are themselves deprecated (the shims
+//     are implemented in terms of each other), and
+//   - test files, which are not loaded at all (the string/typed
+//     equivalence tests legitimately exercise the shims).
+//
+// External consumers keep working — the shims stay exported and
+// bit-identical — but the repository itself cannot grow new callers
+// without an explicit //chaosvet:ignore and a written reason.
+var DeprecatedSpec = &Analyzer{
+	Name: "deprecatedspec",
+	Doc:  "report in-repo uses of deprecated API outside the deprecated shims",
+	Run:  runDeprecatedSpec,
+}
+
+var deprecatedRe = regexp.MustCompile(`(?m)^\s*Deprecated:`)
+
+func runDeprecatedSpec(pass *Pass) {
+	// Collect the deprecated set from source docs across the whole
+	// load: funcKey -> first line of the deprecation notice.
+	deprecated := make(map[string]string)
+	for _, pkg := range pass.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !docMatches(fn.Doc, deprecatedRe) {
+					continue
+				}
+				deprecated[declKey(pkg.Path, fn)] = firstDocLine(fn.Doc, "Deprecated:")
+			}
+		}
+	}
+	if len(deprecated) == 0 {
+		return
+	}
+	for _, pkg := range pass.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if _, isShim := deprecated[declKey(pkg.Path, fn)]; isShim {
+					continue // shims may call shims
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					f, ok := pkg.Info.Uses[id].(*types.Func)
+					if !ok {
+						return true
+					}
+					if note, dep := deprecated[funcKey(f)]; dep {
+						msg := "use of deprecated " + f.Name()
+						if note != "" {
+							msg += " (Deprecated: " + note + ")"
+						}
+						pass.Reportf(id.Pos(), "%s", msg)
+					}
+					return true
+				})
+			}
+		}
+	}
+}

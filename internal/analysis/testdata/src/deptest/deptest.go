@@ -1,0 +1,44 @@
+// Package deptest is golden-file input for the deprecatedspec
+// analyzer: a Deprecated:-tagged function, a shim that may call it, and
+// a caller that may not.
+package deptest
+
+// oldAPI is retained for external compatibility.
+//
+// Deprecated: use newAPI.
+func oldAPI() int { return newAPI() }
+
+func newAPI() int { return 1 }
+
+// shim is itself deprecated, so calling oldAPI is allowed: shims are
+// implemented in terms of each other.
+//
+// Deprecated: use newAPI.
+func shim() int { return oldAPI() }
+
+func freshCaller() int {
+	return oldAPI() // want "use of deprecated oldAPI"
+}
+
+func cleanCaller() int {
+	return newAPI()
+}
+
+type legacy struct{}
+
+// Old is retained for compatibility.
+//
+// Deprecated: use New.
+func (l *legacy) Old() int { return l.New() }
+
+func (l *legacy) New() int { return 2 }
+
+// Gone has a value receiver.
+//
+// Deprecated: gone.
+func (legacy) Gone() {}
+
+func methodCaller(l *legacy) int {
+	legacy{}.Gone() // want "use of deprecated Gone"
+	return l.Old()  // want "use of deprecated Old"
+}

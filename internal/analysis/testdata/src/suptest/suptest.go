@@ -1,0 +1,42 @@
+// Package suptest is golden-file input for the //chaosvet:ignore
+// suppression contract: well-formed directives silence the diagnostic
+// on their line or the line below; malformed directives are reported
+// themselves and suppress nothing. The expectations for this package
+// are asserted explicitly in golden_test.go rather than with want
+// comments, because the interesting diagnostics land on the directive
+// lines.
+package suptest
+
+import "chaos/internal/machine"
+
+// suppressedAbove carries a reviewed suppression on the line above.
+func suppressedAbove(c *machine.Ctx) {
+	if c.Rank() == 0 {
+		//chaosvet:ignore spmdcollective golden-file demonstration of a reviewed suppression
+		c.Barrier()
+	}
+}
+
+// suppressedSameLine carries the directive on the flagged line.
+func suppressedSameLine(c *machine.Ctx) {
+	if c.Rank() == 0 {
+		c.Barrier() //chaosvet:ignore spmdcollective golden-file demonstration of the same-line form
+	}
+}
+
+// unknownAnalyzer names an analyzer that does not exist: the directive
+// is reported and the barrier diagnostic survives.
+func unknownAnalyzer(c *machine.Ctx) {
+	if c.Rank() == 0 {
+		//chaosvet:ignore nosuchanalyzer this suppression must not apply
+		c.Barrier()
+	}
+}
+
+// missingReason omits the mandatory reason: reported, not suppressing.
+func missingReason(c *machine.Ctx) {
+	if c.Rank() == 0 {
+		//chaosvet:ignore spmdcollective
+		c.Barrier()
+	}
+}

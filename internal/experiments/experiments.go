@@ -110,7 +110,7 @@ func Water648() *Workload {
 type Config struct {
 	Procs    int
 	Workload *Workload
-	// Spec selects and tunes the partitioner (partition.MustSpec("RCB"),
+	// Spec selects and tunes the partitioner (partition.Spec{Method: partition.MethodRCB},
 	// partition.Spec{Method: partition.MethodMultilevel, ...}, ...).
 	Spec     partition.Spec
 	Reuse    bool // communication-schedule reuse on/off

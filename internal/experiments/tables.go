@@ -79,7 +79,7 @@ func Table1(g Grid) (*report.Table, error) {
 	for i := range ws {
 		for _, reuse := range []bool{false, true} {
 			ph, err := Run(Config{
-				Procs: procs[i], Workload: ws[i], Spec: partition.MustSpec("RCB"),
+				Procs: procs[i], Workload: ws[i], Spec: partition.Spec{Method: partition.MethodRCB},
 				Reuse: reuse, Iters: g.Iters,
 			})
 			if err != nil {
@@ -126,12 +126,12 @@ func Table2(g Grid) (*report.Table, error) {
 		col  string
 		conf Config
 	}{
-		{"RCB Compiler Reuse", Config{Procs: p, Workload: w, Spec: partition.MustSpec("RCB"), Reuse: true, Iters: g.Iters, Compiler: true}},
-		{"RCB Compiler NoReuse", Config{Procs: p, Workload: w, Spec: partition.MustSpec("RCB"), Reuse: false, Iters: g.Iters, Compiler: true}},
-		{"RCB Hand", Config{Procs: p, Workload: w, Spec: partition.MustSpec("RCB"), Reuse: true, Iters: g.Iters}},
-		{"BLOCK Hand", Config{Procs: p, Workload: w, Spec: partition.MustSpec("BLOCK"), Reuse: true, Iters: g.Iters}},
-		{"RSB Compiler Reuse", Config{Procs: p, Workload: w, Spec: partition.MustSpec("RSB"), Reuse: true, Iters: g.Iters, Compiler: true}},
-		{"ML Compiler Reuse", Config{Procs: p, Workload: w, Spec: partition.MustSpec("MULTILEVEL"), Reuse: true, Iters: g.Iters, Compiler: true}},
+		{"RCB Compiler Reuse", Config{Procs: p, Workload: w, Spec: partition.Spec{Method: partition.MethodRCB}, Reuse: true, Iters: g.Iters, Compiler: true}},
+		{"RCB Compiler NoReuse", Config{Procs: p, Workload: w, Spec: partition.Spec{Method: partition.MethodRCB}, Reuse: false, Iters: g.Iters, Compiler: true}},
+		{"RCB Hand", Config{Procs: p, Workload: w, Spec: partition.Spec{Method: partition.MethodRCB}, Reuse: true, Iters: g.Iters}},
+		{"BLOCK Hand", Config{Procs: p, Workload: w, Spec: partition.Spec{Method: partition.MethodBlock}, Reuse: true, Iters: g.Iters}},
+		{"RSB Compiler Reuse", Config{Procs: p, Workload: w, Spec: partition.Spec{Method: partition.MethodRSB}, Reuse: true, Iters: g.Iters, Compiler: true}},
+		{"ML Compiler Reuse", Config{Procs: p, Workload: w, Spec: partition.Spec{Method: partition.MethodMultilevel}, Reuse: true, Iters: g.Iters, Compiler: true}},
 	}
 	for _, c := range cfgs {
 		ph, err := Run(c.conf)
@@ -152,7 +152,7 @@ func Table3(g Grid) (*report.Table, error) {
 	t := report.New("Table 3: Performance of Compiler-linked Coordinate Bisection Partitioner with Schedule Reuse",
 		fmt.Sprintf("virtual seconds, %d iterations", g.Iters), labels, rows)
 	for i := range ws {
-		cfg := Config{Procs: procs[i], Workload: ws[i], Spec: partition.MustSpec("RCB"), Reuse: true, Iters: g.Iters}
+		cfg := Config{Procs: procs[i], Workload: ws[i], Spec: partition.Spec{Method: partition.MethodRCB}, Reuse: true, Iters: g.Iters}
 		// The MD workload runs the hand path (its kernel closes over
 		// pair geometry); mesh cells run the compiler path as the
 		// table title says.
@@ -181,7 +181,7 @@ func Table4(g Grid) (*report.Table, error) {
 		fmt.Sprintf("virtual seconds, %d iterations", g.Iters), labels, rows)
 	for i := range ws {
 		ph, err := Run(Config{
-			Procs: procs[i], Workload: ws[i], Spec: partition.MustSpec("BLOCK"), Reuse: true, Iters: g.Iters,
+			Procs: procs[i], Workload: ws[i], Spec: partition.Spec{Method: partition.MethodBlock}, Reuse: true, Iters: g.Iters,
 		})
 		if err != nil {
 			return nil, err

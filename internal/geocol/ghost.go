@@ -27,6 +27,16 @@ type GhostExchange struct {
 	// (IDs is sorted and the home distribution is BLOCK, so each rank's
 	// ghosts form one contiguous run).
 	recvStart []int
+	// sendInts/sendFloats are fixed-size per-rank send buffers sized to
+	// the send lists, and updOut is the variable-length send scratch of
+	// the incremental exchanges. All are reused across Push calls, which
+	// run once per matching round or refinement sweep: AlltoAll copies
+	// payloads before delivery, so handing the same backing arrays to
+	// every exchange is safe and keeps the per-sweep allocation count
+	// flat (see //chaos:hotpath).
+	sendInts   [][]int
+	sendFloats [][]float64
+	updOut     [][]int
 }
 
 // NewGhostExchange derives the exchange pattern of g; purely local.
@@ -70,6 +80,15 @@ func NewGhostExchange(c *machine.Ctx, g *Graph) *GhostExchange {
 		ge.recvStart[r+1] = len(ge.IDs)
 	}
 	c.Words(localN + 2*len(ge.IDs))
+	ge.sendInts = make([][]int, procs)
+	ge.sendFloats = make([][]float64, procs)
+	ge.updOut = make([][]int, procs)
+	for r, ls := range ge.send {
+		if len(ls) > 0 {
+			ge.sendInts[r] = make([]int, len(ls))
+			ge.sendFloats[r] = make([]float64, len(ls))
+		}
+	}
 	return ge
 }
 
@@ -79,19 +98,16 @@ func (ge *GhostExchange) Slot(v int) int { return ge.slot[v] }
 
 // PushInts exchanges one int per boundary vertex: vals is indexed by
 // home-local vertex, and the result is parallel to IDs. Collective.
+//
+//chaos:hotpath
 func (ge *GhostExchange) PushInts(c *machine.Ctx, vals []int) []int {
-	out := make([][]int, len(ge.send))
 	for r, ls := range ge.send {
-		if len(ls) == 0 {
-			continue
-		}
-		buf := make([]int, len(ls))
+		buf := ge.sendInts[r]
 		for i, l := range ls {
 			buf[i] = vals[l]
 		}
-		out[r] = buf
 	}
-	in := c.AlltoAllInts(out)
+	in := c.AlltoAllInts(ge.sendInts)
 	res := make([]int, len(ge.IDs))
 	for r, xs := range in {
 		copy(res[ge.recvStart[r]:ge.recvStart[r+1]], xs)
@@ -108,6 +124,7 @@ func (ge *GhostExchange) PushInts(c *machine.Ctx, vals []int) []int {
 // dense exchange's byte volume is what keeps distributed coarsening
 // from scaling on heavily interleaved vertex distributions. Collective.
 func (ge *GhostExchange) UpdateInts(c *machine.Ctx, vals []int, changed []bool, ghost []int) {
+	//chaosvet:ignore exchangeerr UpdateInts is the sanctioned no-touched-list wrapper; the payload lands in ghost, only the slot list is dropped
 	ge.UpdateIntsTouched(c, vals, changed, ghost)
 }
 
@@ -119,8 +136,10 @@ func (ge *GhostExchange) UpdateInts(c *machine.Ctx, vals []int, changed []bool, 
 // exactly the affected vertices instead of rescanning the whole ghost
 // layer every round. Collective; the returned slice is freshly
 // allocated (nil when nothing changed).
+//
+//chaos:hotpath
 func (ge *GhostExchange) UpdateIntsTouched(c *machine.Ctx, vals []int, changed []bool, ghost []int) []int {
-	out := make([][]int, len(ge.send))
+	out := ge.resetUpdOut()
 	for r, ls := range ge.send {
 		for _, l := range ls {
 			if changed[l] {
@@ -138,6 +157,7 @@ func (ge *GhostExchange) UpdateIntsTouched(c *machine.Ctx, vals []int, changed [
 			s := ge.slot[xs[i]]
 			if ghost[s] != xs[i+1] {
 				ghost[s] = xs[i+1]
+				//chaosvet:ignore hotalloc touched is a freshly allocated return value by contract (nil when nothing changed) and its growth is bounded by the ghost-layer size
 				touched = append(touched, s)
 			}
 		}
@@ -145,12 +165,23 @@ func (ge *GhostExchange) UpdateIntsTouched(c *machine.Ctx, vals []int, changed [
 	return touched
 }
 
+// resetUpdOut empties the incremental-exchange send scratch keeping its
+// per-rank backing arrays.
+func (ge *GhostExchange) resetUpdOut() [][]int {
+	for r := range ge.updOut {
+		ge.updOut[r] = ge.updOut[r][:0]
+	}
+	return ge.updOut
+}
+
 // PushMarks is the one-bit form of UpdateInts for monotone flags (a
 // matched vertex never unmatches): only the ids of newly marked home
 // vertices travel, and the receiver sets the corresponding ghost flags
 // to 1. Collective.
+//
+//chaos:hotpath
 func (ge *GhostExchange) PushMarks(c *machine.Ctx, changed []bool, ghost []int) {
-	out := make([][]int, len(ge.send))
+	out := ge.resetUpdOut()
 	for r, ls := range ge.send {
 		for _, l := range ls {
 			if changed[l] {
@@ -167,19 +198,16 @@ func (ge *GhostExchange) PushMarks(c *machine.Ctx, changed []bool, ghost []int) 
 }
 
 // PushFloats is PushInts for float64 values.
+//
+//chaos:hotpath
 func (ge *GhostExchange) PushFloats(c *machine.Ctx, vals []float64) []float64 {
-	out := make([][]float64, len(ge.send))
 	for r, ls := range ge.send {
-		if len(ls) == 0 {
-			continue
-		}
-		buf := make([]float64, len(ls))
+		buf := ge.sendFloats[r]
 		for i, l := range ls {
 			buf[i] = vals[l]
 		}
-		out[r] = buf
 	}
-	in := c.AlltoAllFloats(out)
+	in := c.AlltoAllFloats(ge.sendFloats)
 	res := make([]float64, len(ge.IDs))
 	for r, xs := range in {
 		copy(res[ge.recvStart[r]:ge.recvStart[r+1]], xs)

@@ -24,6 +24,8 @@ func klRefine(sg *subgraph, side []bool, targetLeftW float64) {
 // klRefineN is klRefine with an explicit pass budget; the multilevel
 // partitioner spends fewer passes on interior uncoarsening levels,
 // whose boundaries get re-polished at every finer level anyway.
+//
+//chaos:hotpath
 func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
 	const tol = 0.02 // allowed relative imbalance around the target
 	// plateau bounds how far a pass chases zero/negative-gain moves
@@ -42,15 +44,23 @@ func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
 
 	// gains[v] is the cut-weight reduction when v switches sides (unit
 	// edge weights on the finest graph; aggregated multiplicities on
-	// coarse graphs).
+	// coarse graphs). All per-pass scratch is allocated once here and
+	// reset between passes so a pass allocates nothing.
 	gains := make([]float64, sg.n)
+	locked := make([]bool, sg.n)
 	var stash []int
+	h := klHeap{orig: sg.orig}
+	type move struct {
+		v    int
+		gain float64
+	}
+	seq := make([]move, 0, sg.n)
 
 	for pass := 0; pass < passes; pass++ {
 		// Seed the candidate heap with the boundary vertices; interior
 		// vertices (gain -2*weighted degree) are never competitive and
 		// join lazily if a neighbor's move puts them on the boundary.
-		h := klHeap{orig: sg.orig}
+		h.reset()
 		for v := 0; v < sg.n; v++ {
 			g, boundary := 0.0, false
 			for k := sg.xadj[v]; k < sg.xadj[v+1]; k++ {
@@ -66,12 +76,10 @@ func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
 				h.push(g, v)
 			}
 		}
-		locked := make([]bool, sg.n)
-		type move struct {
-			v    int
-			gain float64
+		for i := range locked {
+			locked[i] = false
 		}
-		var seq []move
+		seq = seq[:0]
 		cum, best, bestAt := 0.0, 0.0, -1
 		curLeftW := leftW
 
@@ -190,6 +198,8 @@ func (KL) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 // klBisect seeds a split by breadth-first region growing from the
 // lowest-numbered vertex until the target weight is reached, then
 // refines it with klRefine.
+//
+//chaos:hotpath
 func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flops int64) {
 	sg := induce(f, verts)
 	totalW := 0.0
@@ -203,7 +213,7 @@ func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flo
 	grown := 0.0
 	// BFS over possibly disconnected subgraphs, restarting from the
 	// lowest unvisited vertex.
-	var queue []int
+	queue := make([]int, 0, sg.n)
 	next := 0
 	for grown < target {
 		if len(queue) == 0 {
@@ -234,6 +244,8 @@ func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flo
 
 	klRefine(sg, side, target)
 
+	left = make([]int, 0, sg.n)
+	right = make([]int, 0, sg.n)
 	for i := 0; i < sg.n; i++ {
 		if side[i] {
 			left = append(left, sg.orig[i])
@@ -262,6 +274,10 @@ type klHeap struct {
 
 func (h *klHeap) len() int { return len(h.entries) }
 
+// reset empties the heap keeping its backing array, so refinement
+// passes reuse steady-state capacity instead of reallocating.
+func (h *klHeap) reset() { h.entries = h.entries[:0] }
+
 // before reports whether a is a higher-priority candidate than b.
 func (h *klHeap) before(a, b klEntry) bool {
 	if a.gain != b.gain {
@@ -270,6 +286,7 @@ func (h *klHeap) before(a, b klEntry) bool {
 	return h.orig[a.v] < h.orig[b.v]
 }
 
+//chaos:hotpath
 func (h *klHeap) push(gain float64, v int) {
 	h.entries = append(h.entries, klEntry{gain, v})
 	i := len(h.entries) - 1
@@ -283,6 +300,7 @@ func (h *klHeap) push(gain float64, v int) {
 	}
 }
 
+//chaos:hotpath
 func (h *klHeap) pop() klEntry {
 	top := h.entries[0]
 	last := len(h.entries) - 1

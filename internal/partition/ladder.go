@@ -92,7 +92,22 @@ func (ld *Ladder) Reusable(g *geocol.Graph, nparts int) bool {
 // cold Partition when the ladder is not reusable for (gNew, nparts).
 // Collective; the returned slice is home-local like Partition's.
 func (ml Multilevel) Repartition(c *machine.Ctx, gNew *geocol.Graph, nparts int, ld *Ladder, oldPart []int) []int {
-	if !ld.Reusable(gNew, nparts) || len(oldPart) != gNew.LocalN(c.Rank()) {
+	// The fallback decision must itself be collective: Reusable and the
+	// ladder shape are replicated, but the oldPart length check is
+	// rank-local, and a lone rank going cold while its peers warm-start
+	// would wedge every collective below. A one-int min-reduce makes
+	// the branch uniform by construction.
+	warm := 0
+	if ld.Reusable(gNew, nparts) && len(oldPart) == gNew.LocalN(c.Rank()) {
+		warm = 1
+	}
+	allWarm := c.AllReduceInt(warm, func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	if allWarm == 0 {
 		return ml.Partition(c, gNew, nparts)
 	}
 

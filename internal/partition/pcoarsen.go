@@ -43,6 +43,8 @@ const matchRounds = 4
 // Returns match[l] = global id of home-local vertex l's partner, or -1
 // for vertices left as singletons. Collective and deterministic: the
 // rounds are bulk-synchronous and every tie-break is seeded.
+//
+//chaos:hotpath
 func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, maxW float64, seed uint64, part, ghostPart []int) []int {
 	me, procs := c.Rank(), c.Procs()
 	lo := g.Home.Lo(me)
@@ -70,6 +72,9 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 	ghostMatched := make([]int, len(ge.IDs))
 	newly := make([]bool, localN)
 	target := make([]int, localN)
+	// Proposal scratch, reused across rounds ([:0] reset keeps the
+	// steady-state capacity; AlltoAll copies payloads before delivery).
+	props := make([][]int, procs)
 
 	for round := 0; round < matchRounds; round++ {
 		if round > 0 {
@@ -137,7 +142,9 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 
 		// Same-rank mutual selections match immediately; cross-rank
 		// selections travel as (target, proposer) pairs.
-		props := make([][]int, procs)
+		for r := range props {
+			props[r] = props[r][:0]
+		}
 		for l := 0; l < localN; l++ {
 			t := target[l]
 			if t < 0 {
@@ -171,6 +178,8 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 // edgeScore is the symmetric randomized tie-break: both endpoints of an
 // edge compute the same score, so mutual selection is likely even when
 // all edge weights tie (the finest, unit-weight level).
+//
+//chaos:hotpath
 func edgeScore(u, v int, salt uint64) uint64 {
 	a, b := u, v
 	if a > b {
@@ -185,6 +194,8 @@ func edgeScore(u, v int, salt uint64) uint64 {
 // order (an exclusive scan over per-rank cluster counts), and partner
 // owners are notified of their vertices' ids. Returns the home-local
 // fine-to-coarse map and the global coarse vertex count. Collective.
+//
+//chaos:hotpath
 func numberCoarse(c *machine.Ctx, g *geocol.Graph, match []int) (cmap []int, coarseN int) {
 	me, procs := c.Rank(), c.Procs()
 	lo := g.Home.Lo(me)

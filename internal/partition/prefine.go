@@ -92,6 +92,7 @@ func fmBucketIndex(gain float64) int {
 	return b + fmBucketSpan
 }
 
+//chaos:hotpath
 func (fb *fmBuckets) push(cand fmCand) {
 	b := fmBucketIndex(cand.gain)
 	fb.buckets[b] = append(fb.buckets[b], cand)
@@ -102,6 +103,8 @@ func (fb *fmBuckets) push(cand fmCand) {
 }
 
 // pop returns the highest-gain candidate, or false when empty.
+//
+//chaos:hotpath
 func (fb *fmBuckets) pop() (fmCand, bool) {
 	for fb.hi >= 0 {
 		if b := fb.buckets[fb.hi]; len(b) > 0 {
@@ -110,15 +113,18 @@ func (fb *fmBuckets) pop() (fmCand, bool) {
 			fb.n--
 			return cand, true
 		}
-		fb.buckets[fb.hi] = nil
 		fb.hi--
 	}
 	return fmCand{}, false
 }
 
+// reset empties the buckets keeping their backing arrays, so repeated
+// passes reuse steady-state capacity instead of reallocating.
+//
+//chaos:hotpath
 func (fb *fmBuckets) reset() {
 	for i := range fb.buckets {
-		fb.buckets[i] = nil
+		fb.buckets[i] = fb.buckets[i][:0]
 	}
 	fb.hi = 0
 	fb.n = 0
@@ -134,6 +140,8 @@ func (fb *fmBuckets) reset() {
 // tail back. Deterministic: every rank computing it on identical
 // inputs produces the identical partition. Returns the flop count to
 // charge.
+//
+//chaos:hotpath
 func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int, tol float64) int64 {
 	const plateau = 64
 	n := len(xadj) - 1
@@ -279,6 +287,8 @@ func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int
 // 1/Procs of a part's remaining headroom inside one sub-iteration, so
 // concurrent moves cannot overshoot the window no matter how the
 // speculation resolves. Collective and deterministic.
+//
+//chaos:hotpath
 func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int, tol float64) {
 	me, procs := c.Rank(), c.Procs()
 	lo := g.Home.Lo(me)

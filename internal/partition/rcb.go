@@ -48,8 +48,10 @@ func (RCB) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 			}
 			continue
 		}
+		//chaosvet:ignore spmdcollective stack length trajectory is replicated: every rank expands the same pre-order split tree, only the vert contents are rank-local
 		d := widestDim(c, g, t.verts)
 		nl := halves(t.nparts)
+		//chaosvet:ignore spmdcollective stack length trajectory is replicated: every rank expands the same pre-order split tree, only the vert contents are rank-local
 		left, right := weightedKeySplit(c, g, t.verts, g.Coords[d], float64(nl)/float64(t.nparts))
 		// Push right first so left is processed next (pre-order).
 		stack = append(stack,
@@ -120,6 +122,7 @@ func (Inertial) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 			}
 			continue
 		}
+		//chaosvet:ignore spmdcollective stack length trajectory is replicated: every rank expands the same pre-order split tree, only the vert contents are rank-local
 		axis, centroid := principalAxis(c, g, t.verts)
 		for _, v := range t.verts {
 			s := 0.0
@@ -130,6 +133,7 @@ func (Inertial) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 		}
 		c.Flops(2 * g.Dim * len(t.verts))
 		nl := halves(t.nparts)
+		//chaosvet:ignore spmdcollective stack length trajectory is replicated: every rank expands the same pre-order split tree, only the vert contents are rank-local
 		left, right := weightedKeySplit(c, g, t.verts, key, float64(nl)/float64(t.nparts))
 		stack = append(stack,
 			splitTask{verts: right, partLo: t.partLo + nl, nparts: t.nparts - nl},

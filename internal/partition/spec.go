@@ -111,6 +111,11 @@ func (sp Spec) String() string {
 // against the registry here — registration may legitimately happen
 // later — so an unknown method surfaces at Resolve time with the
 // registry's unknown-partitioner error.
+//
+// Deprecated: construct a typed Spec literal (Spec{Method: MethodRCB})
+// instead; it exposes the tuning knobs with compile-time field checks.
+// The string form survives for the Fortran-D front end and for
+// external callers holding user-authored spec strings.
 func ParseSpec(s string) (Spec, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -163,6 +168,10 @@ func ParseSpec(s string) (Spec, error) {
 }
 
 // MustSpec is ParseSpec for trusted literals; it panics on error.
+//
+// Deprecated: a trusted literal is exactly the case where a typed Spec
+// literal (Spec{Method: MethodRCB}) says the same thing with
+// compile-time checking and nothing to panic on.
 func MustSpec(s string) Spec {
 	sp, err := ParseSpec(s)
 	if err != nil {
