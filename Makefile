@@ -8,7 +8,7 @@ GO ?= go
 # coverage durably improves.
 COVER_FLOOR = 89.0
 
-.PHONY: check build vet lint analyze test race cover cover-check bench bench-json quickstart tables examples docs-check api-check api-snapshot
+.PHONY: check build vet lint analyze test race cover cover-check bench bench-json fuzz-short quickstart tables examples docs-check api-check api-snapshot
 
 check: build lint analyze test docs-check api-check
 
@@ -93,6 +93,13 @@ cover-check:
 
 bench:
 	$(GO) test -bench . -benchtime 10x -run '^$$' ./...
+
+# fuzz-short gives each fuzz target a 30-second budget — enough for the
+# corpus plus a few hundred thousand mutated executions. Go runs one
+# -fuzz target per invocation, hence one line per target.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzAlltoAll$$' -fuzztime 30s ./internal/machine
+	$(GO) test -run '^$$' -fuzz '^FuzzGhostExchange$$' -fuzztime 30s ./internal/geocol
 
 # bench-json emits the perf-trajectory document CI archives per push.
 bench-json:

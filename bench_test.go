@@ -149,6 +149,35 @@ func BenchmarkTable4BlockP16(b *testing.B) {
 	})
 }
 
+// --- Real-cores backend: wall time vs virtual time at P=1 and P=8 ---
+
+// benchReal runs the RCB pipeline on the Real execution backend and
+// reports both trajectories: host wall time ("wallms", max across
+// ranks) and the virtual time the same run charged ("vsec"). Compare
+// the P=1 and P=8 wallms on a multi-core host for real speedup;
+// cmd/chaosbench -backend=real runs the paper-size grid.
+func benchReal(b *testing.B, procs int) {
+	b.Helper()
+	var wall, vsec float64
+	for i := 0; i < b.N; i++ {
+		ph, err := experiments.Run(experiments.Config{
+			Procs: procs, Workload: experiments.MeshWorkload(benchMeshNodes),
+			Spec: partition.MustSpec("RCB"), Reuse: true, Iters: benchIters,
+			Backend: machine.Real, Seed: 1993,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall = ph.Wall * 1000
+		vsec = ph.Total()
+	}
+	b.ReportMetric(wall, "wallms")
+	b.ReportMetric(vsec, "vsec")
+}
+
+func BenchmarkRealBackendMeshP1(b *testing.B) { benchReal(b, 1) }
+func BenchmarkRealBackendMeshP8(b *testing.B) { benchReal(b, 8) }
+
 // --- Ablation: inspector dedup of duplicate off-processor refs ---
 
 func benchDedup(b *testing.B, noDedup bool) {

@@ -12,6 +12,13 @@
 // such as the partitioner benches' part-ms). The goos/goarch/pkg/cpu
 // header lines annotate the entries; -sha (defaulting to $GITHUB_SHA)
 // stamps the document. With -o absent or "-", the JSON goes to stdout.
+//
+// -real <file> additionally ingests the "realbench:" lines printed by
+// `chaosbench -backend=real` (one per machine size, key=value
+// format): each becomes an entry of the document's "real" array and
+// the wall-time ratio of the smallest to the largest machine size is
+// stamped as "real_speedup", so the archive carries the real-cores
+// trajectory next to the virtual one.
 package main
 
 import (
@@ -33,6 +40,17 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// RealRun is one "realbench:" line from `chaosbench -backend=real`:
+// the full pipeline on the Real execution backend at one machine
+// size, with host wall time next to the virtual time of the same run.
+type RealRun struct {
+	Workload string  `json:"workload"`
+	Method   string  `json:"method"`
+	Procs    int     `json:"procs"`
+	WallMS   float64 `json:"wall_ms"`
+	VirtualS float64 `json:"virtual_s"`
+}
+
 // Doc is the archived JSON document.
 type Doc struct {
 	SHA        string      `json:"sha,omitempty"`
@@ -40,6 +58,11 @@ type Doc struct {
 	GoArch     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Real holds the real-cores study cells, and RealSpeedup the wall
+	// time of its smallest machine divided by its largest (P=1 → P=8
+	// real speedup). Absent when -real was not given.
+	Real        []RealRun `json:"real,omitempty"`
+	RealSpeedup float64   `json:"real_speedup,omitempty"`
 }
 
 // parse reads `go test -bench` output and collects the benchmark lines.
@@ -95,9 +118,62 @@ func parseBenchLine(line, pkg string) (*Benchmark, error) {
 	return b, nil
 }
 
+// parseReal reads `chaosbench -backend=real` output and collects the
+// per-machine-size "realbench:" cells, ignoring the human-facing
+// summary lines. The speedup is the wall time of the first cell (the
+// smallest machine) over the last (the largest); zero when fewer than
+// two cells are present.
+func parseReal(r io.Reader) ([]RealRun, float64, error) {
+	var runs []RealRun
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "realbench: ") {
+			continue
+		}
+		rr := RealRun{}
+		for _, kv := range strings.Fields(strings.TrimPrefix(line, "realbench: ")) {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return nil, 0, fmt.Errorf("benchjson: bad realbench field %q in %q", kv, line)
+			}
+			key, val := kv[:eq], kv[eq+1:]
+			var err error
+			switch key {
+			case "workload":
+				rr.Workload = val
+			case "method":
+				rr.Method = val
+			case "procs":
+				rr.Procs, err = strconv.Atoi(val)
+			case "wall_ms":
+				rr.WallMS, err = strconv.ParseFloat(val, 64)
+			case "virtual_s":
+				rr.VirtualS, err = strconv.ParseFloat(val, 64)
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return nil, 0, fmt.Errorf("benchjson: bad realbench field %q in %q", kv, line)
+			}
+		}
+		if rr.Procs <= 0 || rr.WallMS <= 0 {
+			return nil, 0, fmt.Errorf("benchjson: realbench line missing procs or wall_ms: %q", line)
+		}
+		runs = append(runs, rr)
+	}
+	speedup := 0.0
+	if len(runs) >= 2 {
+		speedup = runs[0].WallMS / runs[len(runs)-1].WallMS
+	}
+	return runs, speedup, sc.Err()
+}
+
 func main() {
 	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha to stamp the document with")
 	out := flag.String("o", "-", "output file (\"-\" = stdout)")
+	real := flag.String("real", "", "file holding `chaosbench -backend=real` output to merge into the document")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -106,7 +182,20 @@ func main() {
 		os.Exit(1)
 	}
 	doc.SHA = *sha
-	if len(doc.Benchmarks) == 0 {
+	if *real != "" {
+		f, err := os.Open(*real)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Real, doc.RealSpeedup, err = parseReal(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(doc.Benchmarks) == 0 && len(doc.Real) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}

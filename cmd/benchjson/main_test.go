@@ -49,6 +49,65 @@ func TestParseBadMetricValue(t *testing.T) {
 	}
 }
 
+func TestParseReal(t *testing.T) {
+	const out = `realbench: workload=mesh21000 method=RCB procs=1 wall_ms=4200.125 virtual_s=12.3456
+realbench: workload=mesh21000 method=RCB procs=2 wall_ms=2400.500 virtual_s=7.0001
+realbench: workload=mesh21000 method=RCB procs=8 wall_ms=1000.250 virtual_s=3.1415
+realbench-speedup: workload=mesh21000 method=RCB procs=8 vs=1 real=4.20 virtual=3.93
+[real backend on 8 host cores (GOMAXPROCS); real speedup is meaningful on 4+ cores]
+`
+	runs, speedup, err := parseReal(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("parsed %d real runs, want 3: %+v", len(runs), runs)
+	}
+	r := runs[0]
+	if r.Workload != "mesh21000" || r.Method != "RCB" || r.Procs != 1 ||
+		r.WallMS != 4200.125 || r.VirtualS != 12.3456 {
+		t.Errorf("runs[0] = %+v", r)
+	}
+	if runs[2].Procs != 8 || runs[2].WallMS != 1000.25 {
+		t.Errorf("runs[2] = %+v", runs[2])
+	}
+	if want := 4200.125 / 1000.25; speedup != want {
+		t.Errorf("speedup = %v, want %v", speedup, want)
+	}
+}
+
+func TestParseRealSingleCell(t *testing.T) {
+	runs, speedup, err := parseReal(strings.NewReader(
+		"realbench: workload=w method=BLOCK procs=4 wall_ms=10 virtual_s=1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || speedup != 0 {
+		t.Errorf("runs = %+v, speedup = %v; want one run and zero speedup", runs, speedup)
+	}
+}
+
+func TestParseRealBadLines(t *testing.T) {
+	for _, in := range []string{
+		"realbench: procs=2 wall_ms=oops\n",          // bad float
+		"realbench: procs=2\n",                       // missing wall_ms
+		"realbench: nonsense\n",                      // no key=value
+		"realbench: bogus=1 procs=2 wall_ms=3\n",     // unknown key
+		"realbench: procs=zero wall_ms=3 method=X\n", // bad int
+	} {
+		if _, _, err := parseReal(strings.NewReader(in)); err == nil {
+			t.Errorf("want error for %q", in)
+		}
+	}
+}
+
+func TestParseRealEmpty(t *testing.T) {
+	runs, speedup, err := parseReal(strings.NewReader("no realbench lines here\n"))
+	if err != nil || len(runs) != 0 || speedup != 0 {
+		t.Errorf("got runs=%v speedup=%v err=%v; want empty", runs, speedup, err)
+	}
+}
+
 func TestParseEmptyInput(t *testing.T) {
 	doc, err := parse(strings.NewReader(""))
 	if err != nil {

@@ -6,6 +6,7 @@
 //
 //	chaosbench [-table N] [-quick] [-iters N] [-markdown]
 //	chaosbench -crossover | -adaptive [-quick]
+//	chaosbench -backend=real [-quick] [-iters N]
 //
 // With no -table flag every table (1-4) is produced. -quick runs a
 // scaled-down grid (smaller meshes, fewer processors and iterations)
@@ -27,6 +28,14 @@
 // through a Repartitioner, so warm, ladder-reusing MULTILEVEL runs
 // are compared against same-graph cold runs — the incremental
 // repartitioning column the paper could not afford to run.
+//
+// -backend=real switches from the tables to the real-cores study: the
+// full RCB pipeline runs on the Real execution backend (ranks execute
+// on host cores, payloads physically delivered) at P = 1, 2, 4, 8 on
+// the 21952-node mesh, printing one parseable "realbench:" line per
+// machine size with host wall time next to the virtual time the same
+// run charged, plus a closing speedup summary. cmd/benchjson -real
+// ingests these lines into BENCH_<sha>.json.
 package main
 
 import (
@@ -34,12 +43,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"chaos/internal/experiments"
+	"chaos/internal/machine"
 	"chaos/internal/partition"
 	"chaos/internal/report"
 )
+
+// runRealStudy executes the real-cores speedup study: the RCB
+// pipeline on the Real backend at P = 1, 2, 4, 8, on the 21952-node
+// acceptance mesh (a 3000-node mesh with -quick). RCB keeps the
+// partitioner cheap so the executor sweep — the part that genuinely
+// parallelizes on host cores — dominates the wall time.
+func runRealStudy(quick bool, iters int) {
+	nodes := 21000 // mesh.Generate rounds up to the 28^3 lattice: 21952
+	if iters <= 0 {
+		iters = 20
+	}
+	if quick {
+		nodes = 3000
+	}
+	w := experiments.MeshWorkload(nodes)
+	cells, err := experiments.RealSpeedupStudy(w,
+		partition.Spec{Method: partition.MethodRCB}, []int{1, 2, 4, 8}, iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, rc := range cells {
+		fmt.Println(rc)
+	}
+	first, last := cells[0], cells[len(cells)-1]
+	fmt.Printf("realbench-speedup: workload=%s method=%s procs=%d vs=%d real=%.2f virtual=%.2f\n",
+		first.Workload, first.Method, last.Procs, first.Procs,
+		first.WallMS/last.WallMS, first.VirtualS/last.VirtualS)
+	fmt.Printf("[real backend on %d host cores (GOMAXPROCS); real speedup is meaningful on 4+ cores]\n",
+		runtime.GOMAXPROCS(0))
+}
 
 func main() {
 	var (
@@ -49,6 +91,7 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit markdown tables")
 		crossover = flag.Bool("crossover", false, "partitioner amortization/crossover study instead of tables")
 		adaptive  = flag.Bool("adaptive", false, "adaptive-mesh cold/warm repartition amortization study, emitted as JSON")
+		backend   = flag.String("backend", "sim", "execution backend: sim (virtual-clock tables) or real (real-cores speedup study)")
 	)
 	flag.Parse()
 
@@ -58,6 +101,16 @@ func main() {
 	}
 	if *iters > 0 {
 		grid.Iters = *iters
+	}
+
+	be, err := machine.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+		os.Exit(2)
+	}
+	if be == machine.Real {
+		runRealStudy(*quick, *iters)
+		return
 	}
 
 	if *adaptive {

@@ -7,9 +7,10 @@ import (
 // ExchangeErr reports discarded results of the runtime's communication
 // surface. Two families are covered:
 //
-// Error results: machine.Run, machine.MaxClock and chaos.Run return the
-// first rank panic as an error; dropping it (an expression statement, a
-// blank assignment, or a blank in the error position) silently turns a
+// Error results: the machine entry points (Run, RunReal, RunStats,
+// MaxClock, Elapsed) and chaos.Run/chaos.RunReal return the first rank
+// panic as an error; dropping it (an expression statement, a blank
+// assignment, or a blank in the error position) silently turns a
 // deadlocked or crashed simulated machine into a green test.
 //
 // Exchanged payloads: the ghost-exchange handshake and the mailbox
@@ -32,8 +33,12 @@ const geocolPath = "chaos/internal/geocol"
 // error's index in the result tuple.
 var errResultFuncs = map[string]int{
 	machinePath + ".Run":      0,
+	machinePath + ".RunReal":  0,
+	machinePath + ".RunStats": 1,
 	machinePath + ".MaxClock": 1,
+	machinePath + ".Elapsed":  1,
 	"chaos/chaos.Run":         0,
+	"chaos/chaos.RunReal":     1,
 }
 
 // valueResultFuncs return exchanged data that must be used.

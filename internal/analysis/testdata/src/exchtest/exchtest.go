@@ -4,6 +4,8 @@
 package exchtest
 
 import (
+	"context"
+
 	"chaos/chaos"
 	"chaos/internal/geocol"
 	"chaos/internal/machine"
@@ -17,6 +19,13 @@ func dropRunError(cfg machine.Config, body func(*machine.Ctx)) {
 func dropMaxClock(cfg machine.Config, body func(*machine.Ctx)) float64 {
 	t, _ := machine.MaxClock(cfg, body) // want "error result of MaxClock assigned to _"
 	return t
+}
+
+func dropRealBackend(ctx context.Context, cfg machine.Config, body func(*machine.Ctx)) machine.Stats {
+	machine.RunReal(ctx, cfg, body)           // want "error result of RunReal discarded"
+	_, _ = machine.Elapsed(cfg, body)         // want "error result of Elapsed assigned to _"
+	st, _ := machine.RunStats(ctx, cfg, body) // want "error result of RunStats assigned to _"
+	return st
 }
 
 func dropPayload(c *machine.Ctx, ge *geocol.GhostExchange, vals []int) {
@@ -36,8 +45,11 @@ func usedPayload(c *machine.Ctx, ge *geocol.GhostExchange, vals []int) []int {
 	return ghost
 }
 
-func dropPublicRun(cfg chaos.Config, body func(*chaos.Session)) {
-	chaos.Run(cfg, body) // want "error result of Run discarded"
+func dropPublicRun(ctx context.Context, cfg chaos.Config, body func(*chaos.Session)) {
+	chaos.Run(cfg, body)                   // want "error result of Run discarded"
+	_, _ = chaos.RunReal(ctx, cfg, body)   // want "error result of RunReal assigned to _"
+	st, _ := chaos.RunReal(ctx, cfg, body) // want "error result of RunReal assigned to _"
+	_ = st
 }
 
 func dropByGoAndDefer(cfg machine.Config, body func(*machine.Ctx)) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -79,7 +80,7 @@ func runCompiler(cfg Config) (Phases, error) {
 		mu  sync.Mutex
 		out Phases
 	)
-	err = machine.Run(machine.IPSC860(cfg.Procs), func(c *machine.Ctx) {
+	st, err := machine.RunStats(context.Background(), machineConfig(cfg), func(c *machine.Ctx) {
 		s := core.NewSession(c)
 		if e := prog.Execute(s, env); e != nil {
 			panic(e)
@@ -91,5 +92,6 @@ func runCompiler(cfg Config) (Phases, error) {
 			mu.Unlock()
 		}
 	})
+	out.Wall = st.Elapsed.Seconds()
 	return out, err
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -120,6 +121,13 @@ type Config struct {
 	IterPolicy iterpart.Policy
 	// SkipIterPart disables Phase B (ablation).
 	SkipIterPart bool
+	// Backend selects the machine execution backend. The zero value is
+	// the classic virtual-clock simulator; machine.Real runs the same
+	// pipeline on host cores with physical payload delivery, filling
+	// Phases.Wall with authoritative wall time.
+	Backend machine.Backend
+	// Seed is the machine's base random seed (Ctx.Rand streams).
+	Seed uint64
 	// NoDedupInspector is reserved for the dedup ablation (uses the
 	// hand path with duplicate ghost slots). Implemented in the
 	// ablation bench directly against the schedule package.
@@ -133,6 +141,12 @@ type Phases struct {
 	Remap     float64
 	Inspector float64
 	Executor  float64
+	// Wall is the host wall-clock time of the whole cell in seconds,
+	// max-reduced across ranks (machine.Stats.Elapsed). On the Real
+	// backend it is the authoritative timing; on Simulated it merely
+	// records simulator overhead. Not part of Total, which stays the
+	// paper's virtual-seconds row.
+	Wall float64
 }
 
 // Total is the sum of all phases (the paper's "Total" row).
@@ -149,6 +163,15 @@ func Run(cfg Config) (Phases, error) {
 		return runCompiler(cfg)
 	}
 	return runHand(cfg)
+}
+
+// machineConfig builds the iPSC/860 machine of one experiment cell,
+// applying the cell's execution backend and seed.
+func machineConfig(cfg Config) machine.Config {
+	mc := machine.IPSC860(cfg.Procs)
+	mc.Backend = cfg.Backend
+	mc.Seed = cfg.Seed
+	return mc
 }
 
 // inputCaps resolves which GeoCoL components the configured
@@ -173,7 +196,7 @@ func runHand(cfg Config) (Phases, error) {
 	if err != nil {
 		return Phases{}, err
 	}
-	err = machine.Run(machine.IPSC860(cfg.Procs), func(c *machine.Ctx) {
+	st, err := machine.RunStats(context.Background(), machineConfig(cfg), func(c *machine.Ctx) {
 		s := core.NewSession(c)
 		x := s.NewArray("x", w.NNode)
 		y := s.NewArray("y", w.NNode)
@@ -224,6 +247,7 @@ func runHand(cfg Config) (Phases, error) {
 			mu.Unlock()
 		}
 	})
+	out.Wall = st.Elapsed.Seconds()
 	return out, err
 }
 

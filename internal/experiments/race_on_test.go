@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// host-timing comparison tests skip under it because instrumentation
+// inflates wall time by an order of magnitude.
+const raceEnabled = true

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chaos/internal/machine"
+	"chaos/internal/partition"
+)
+
+// RealCell is one Real-backend measurement of the full pipeline: the
+// host wall time next to the virtual time the simulator charges for
+// the same run. One run yields both trajectories because the Real
+// backend keeps charging the virtual clock while the ranks do the
+// physical work.
+type RealCell struct {
+	Workload string  `json:"workload"`
+	Method   string  `json:"method"`
+	Procs    int     `json:"procs"`
+	WallMS   float64 `json:"wall_ms"`
+	VirtualS float64 `json:"virtual_s"`
+}
+
+// String renders the cell in the stable key=value line format consumed
+// by cmd/benchjson -real.
+func (rc RealCell) String() string {
+	return fmt.Sprintf("realbench: workload=%s method=%s procs=%d wall_ms=%.3f virtual_s=%.4f",
+		rc.Workload, rc.Method, rc.Procs, rc.WallMS, rc.VirtualS)
+}
+
+// RealSpeedupStudy runs the full pipeline on the Real backend at each
+// machine size and reports wall time next to virtual time. The wall
+// times measure genuine parallel execution on host cores (compute
+// slots are capped at GOMAXPROCS), so WallMS dropping from P=1 to P=8
+// is real speedup, while VirtualS keeps reporting what the simulated
+// iPSC/860 would have charged — the pair is what BENCH_<sha>.json
+// archives as the repository's two performance trajectories.
+func RealSpeedupStudy(w *Workload, sp partition.Spec, procs []int, iters int) ([]RealCell, error) {
+	cells := make([]RealCell, 0, len(procs))
+	for _, p := range procs {
+		ph, err := Run(Config{
+			Procs: p, Workload: w, Spec: sp, Reuse: true, Iters: iters,
+			Backend: machine.Real, Seed: 1993,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: real study P=%d: %w", p, err)
+		}
+		cells = append(cells, RealCell{
+			Workload: w.Name,
+			Method:   string(sp.Method),
+			Procs:    p,
+			WallMS:   ph.Wall * 1000,
+			VirtualS: ph.Total(),
+		})
+	}
+	return cells, nil
+}

@@ -1,0 +1,131 @@
+package geocol_test
+
+import (
+	"testing"
+
+	"chaos/internal/geocol"
+	"chaos/internal/machine"
+)
+
+// fuzzEdges decodes the fuzz bytes into an edge list over n vertices.
+// Consecutive byte pairs become one edge each, reduced mod n, so the
+// corpus naturally produces self-loops, duplicate edges, isolated
+// vertices (empty exchanges) and edges touching vertex n-1 on the
+// max rank. A (0, n-1) edge is always appended so every case has at
+// least one cross-rank dependence when P > 1.
+func fuzzEdges(data []byte, n int) (e1, e2 []int) {
+	for i := 0; i+1 < len(data); i += 2 {
+		e1 = append(e1, int(data[i])%n)
+		e2 = append(e2, int(data[i+1])%n)
+	}
+	e1 = append(e1, 0)
+	e2 = append(e2, n-1)
+	return e1, e2
+}
+
+// FuzzGhostExchange builds a fuzzed graph under both backends and
+// checks the full GhostExchange surface against ground truth that is
+// known exactly because each pushed value is the sender's global
+// vertex id: after PushInts, ghost slot i must hold IDs[i]; after an
+// UpdateInts touching every third vertex, exactly those ghosts moved.
+func FuzzGhostExchange(f *testing.F) {
+	f.Add([]byte{}, byte(0), byte(0))                             // minimal graph, single rank
+	f.Add([]byte{0, 0, 5, 5}, byte(3), byte(20))                  // self-loops only
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 5}, byte(1), byte(6)) // path across 2 ranks
+	f.Add([]byte{0, 9, 9, 0, 3, 7}, byte(3), byte(10))            // duplicates + max rank
+	f.Fuzz(func(t *testing.T, data []byte, pb, nb byte) {
+		p := 1 + int(pb)%4
+		n := p + int(nb)%24 // at least one vertex per rank
+		e1, e2 := fuzzEdges(data, n)
+		for _, backend := range []machine.Backend{machine.Simulated, machine.Real} {
+			cfg := machine.Zero(p)
+			cfg.Backend = backend
+			err := machine.Run(cfg, func(c *machine.Ctx) {
+				// Each rank contributes a strided slice of the edge list.
+				var me1, me2 []int
+				for i := range e1 {
+					if i%p == c.Rank() {
+						me1 = append(me1, e1[i])
+						me2 = append(me2, e2[i])
+					}
+				}
+				g := geocol.Build(c, n, geocol.WithLink(me1, me2))
+				ge := geocol.NewGhostExchange(c, g)
+
+				lo := g.Home.Lo(c.Rank())
+				localN := g.LocalN(c.Rank())
+				ids := make([]int, localN)
+				fids := make([]float64, localN)
+				for l := range ids {
+					ids[l] = lo + l
+					fids[l] = float64(lo+l) + 0.5
+				}
+				ghost := ge.PushInts(c, ids)
+				for i, v := range ghost {
+					if v != ge.IDs[i] {
+						t.Errorf("%v: rank %d ghost slot %d: got %d, want id %d",
+							backend, c.Rank(), i, v, ge.IDs[i])
+					}
+					if ge.Slot(ge.IDs[i]) != i {
+						t.Errorf("%v: rank %d: Slot(%d) = %d, want %d",
+							backend, c.Rank(), ge.IDs[i], ge.Slot(ge.IDs[i]), i)
+					}
+				}
+				fghost := ge.PushFloats(c, fids)
+				for i, v := range fghost {
+					if v != float64(ge.IDs[i])+0.5 {
+						t.Errorf("%v: rank %d float ghost slot %d: got %v, want %v",
+							backend, c.Rank(), i, v, float64(ge.IDs[i])+0.5)
+					}
+				}
+
+				// Incremental update: every third global vertex moves.
+				changed := make([]bool, localN)
+				for l := range ids {
+					if (lo+l)%3 == 0 {
+						ids[l] += n
+						changed[l] = true
+					}
+				}
+				touched := ge.UpdateIntsTouched(c, ids, changed, ghost)
+				for i, id := range ge.IDs {
+					want := id
+					if id%3 == 0 {
+						want = id + n
+					}
+					if ghost[i] != want {
+						t.Errorf("%v: rank %d updated ghost %d: got %d, want %d",
+							backend, c.Rank(), i, ghost[i], want)
+					}
+				}
+				for k, s := range touched {
+					if ge.IDs[s]%3 != 0 {
+						t.Errorf("%v: rank %d touched slot %d (id %d) never changed",
+							backend, c.Rank(), s, ge.IDs[s])
+					}
+					if k > 0 && touched[k-1] >= s {
+						t.Errorf("%v: rank %d touched list not ascending: %v",
+							backend, c.Rank(), touched)
+					}
+				}
+
+				// Monotone marks: flag the same vertices via PushMarks.
+				marks := make([]int, len(ge.IDs))
+				ge.PushMarks(c, changed, marks)
+				for i, id := range ge.IDs {
+					want := 0
+					if id%3 == 0 {
+						want = 1
+					}
+					if marks[i] != want {
+						t.Errorf("%v: rank %d mark %d (id %d): got %d, want %d",
+							backend, c.Rank(), i, id, marks[i], want)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", backend, err)
+			}
+		}
+	})
+}

@@ -98,9 +98,19 @@ func (ge *GhostExchange) Slot(v int) int { return ge.slot[v] }
 
 // PushInts exchanges one int per boundary vertex: vals is indexed by
 // home-local vertex, and the result is parallel to IDs. Collective.
+func (ge *GhostExchange) PushInts(c *machine.Ctx, vals []int) []int {
+	return ge.PushIntsInto(c, vals, nil)
+}
+
+// PushIntsInto is PushInts delivering into dst when it has the
+// capacity, allocating a fresh slice only when it does not. Loops that
+// push once per sweep or per ladder level — coarsening, V-cycle
+// construction, FM refinement — hand back the previous push's slice to
+// keep the per-sweep allocation count flat. dst's prior contents are
+// ignored. Collective.
 //
 //chaos:hotpath
-func (ge *GhostExchange) PushInts(c *machine.Ctx, vals []int) []int {
+func (ge *GhostExchange) PushIntsInto(c *machine.Ctx, vals []int, dst []int) []int {
 	for r, ls := range ge.send {
 		buf := ge.sendInts[r]
 		for i, l := range ls {
@@ -108,7 +118,13 @@ func (ge *GhostExchange) PushInts(c *machine.Ctx, vals []int) []int {
 		}
 	}
 	in := c.AlltoAllInts(ge.sendInts)
-	res := make([]int, len(ge.IDs))
+	var res []int
+	if cap(dst) >= len(ge.IDs) {
+		res = dst[:len(ge.IDs)]
+	} else {
+		//chaosvet:ignore hotalloc grows only when the caller's buffer is short; steady-state sweeps reuse it
+		res = make([]int, len(ge.IDs))
+	}
 	for r, xs := range in {
 		copy(res[ge.recvStart[r]:ge.recvStart[r+1]], xs)
 	}

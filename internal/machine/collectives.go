@@ -39,41 +39,49 @@ func (r *rendezvous) wake() { r.cond.Broadcast() }
 // deposits for the same generation. On return the rank's clock has been
 // advanced to the maximum clock among participants (a synchronizing
 // collective). The returned slice is shared between ranks and must be
-// treated as read-only.
+// treated as read-only. On the Real backend the rank yields its
+// compute slot for the duration — a rank waiting out a collective must
+// not starve runnable ranks of cores.
 func (c *Ctx) exchange(x any) []any {
 	c.checkAborted()
 	r := c.m.rdv
-	r.mu.Lock()
-	gen := r.gen
-	r.vals[c.rank] = x
-	r.clocks[c.rank] = c.clock
-	r.count++
-	if r.count == r.procs {
-		snap := make([]any, r.procs)
-		copy(snap, r.vals)
-		maxT := r.clocks[0]
-		for _, t := range r.clocks[1:] {
-			if t > maxT {
-				maxT = t
+	var (
+		snap []any
+		t    float64
+	)
+	c.yield(func() {
+		r.mu.Lock()
+		gen := r.gen
+		r.vals[c.rank] = x
+		r.clocks[c.rank] = c.clock
+		r.count++
+		if r.count == r.procs {
+			sv := make([]any, r.procs)
+			copy(sv, r.vals)
+			maxT := r.clocks[0]
+			for _, ct := range r.clocks[1:] {
+				if ct > maxT {
+					maxT = ct
+				}
+			}
+			r.snapVals = sv
+			r.snapTime = maxT
+			r.count = 0
+			r.gen++
+			r.cond.Broadcast()
+		} else {
+			for r.gen == gen {
+				if ab, _ := c.m.abortedErr(); ab {
+					r.mu.Unlock()
+					panic(abortSignal{})
+				}
+				r.cond.Wait()
 			}
 		}
-		r.snapVals = snap
-		r.snapTime = maxT
-		r.count = 0
-		r.gen++
-		r.cond.Broadcast()
-	} else {
-		for r.gen == gen {
-			if ab, _ := c.m.abortedErr(); ab {
-				r.mu.Unlock()
-				panic(abortSignal{})
-			}
-			r.cond.Wait()
-		}
-	}
-	snap := r.snapVals
-	t := r.snapTime
-	r.mu.Unlock()
+		snap = r.snapVals
+		t = r.snapTime
+		r.mu.Unlock()
+	})
 	if t > c.clock {
 		c.clock = t
 	}
@@ -230,6 +238,9 @@ func (c *Ctx) BroadcastInts(root int, xs []int) []int {
 	}
 	vals := c.exchange(dep)
 	out := vals[root].([]int)
+	if c.m.real {
+		out = realClone(out).([]int)
+	}
 	c.collectiveCost(8 * len(out))
 	return out
 }
@@ -244,6 +255,9 @@ func (c *Ctx) BroadcastFloats(root int, xs []float64) []float64 {
 	}
 	vals := c.exchange(dep)
 	out := vals[root].([]float64)
+	if c.m.real {
+		out = realClone(out).([]float64)
+	}
 	c.collectiveCost(8 * len(out))
 	return out
 }
@@ -290,7 +304,11 @@ func (c *Ctx) AlltoAllInts(out [][]int) [][]int {
 	nRecv, recvBytes := 0, 0
 	for p := 0; p < c.procs; p++ {
 		mat := vals[p].([][]int)
-		in[p] = mat[c.rank]
+		row := mat[c.rank]
+		if c.m.real && len(row) > 0 {
+			row = realClone(row).([]int)
+		}
+		in[p] = row
 		if p != c.rank && len(in[p]) > 0 {
 			nRecv++
 			recvBytes += 8 * len(in[p])
@@ -324,7 +342,11 @@ func (c *Ctx) AlltoAllFloats(out [][]float64) [][]float64 {
 	nRecv, recvBytes := 0, 0
 	for p := 0; p < c.procs; p++ {
 		mat := vals[p].([][]float64)
-		in[p] = mat[c.rank]
+		row := mat[c.rank]
+		if c.m.real && len(row) > 0 {
+			row = realClone(row).([]float64)
+		}
+		in[p] = row
 		if p != c.rank && len(in[p]) > 0 {
 			nRecv++
 			recvBytes += 8 * len(in[p])

@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// a2aCase deterministically derives rank's AlltoAll send matrix from
+// the fuzz bytes. Every rank starts its cursor at a rank-dependent
+// offset and reads with wraparound, so any rank can locally rebuild
+// any other rank's matrix to know what it should have received.
+// Lengths cycle through 0..4, which exercises empty sends (including
+// all-empty machines), self-sends, and the max-rank row.
+func a2aCase(data []byte, rank, p int) [][]int {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	pos := (rank * 31) % len(data)
+	next := func() byte {
+		b := data[pos]
+		pos = (pos + 1) % len(data)
+		return b
+	}
+	out := make([][]int, p)
+	for d := 0; d < p; d++ {
+		n := int(next()) % 5
+		for i := 0; i < n; i++ {
+			out[d] = append(out[d], int(int8(next()))*(rank+1)+d)
+		}
+	}
+	return out
+}
+
+// FuzzAlltoAll drives AlltoAllInts/AlltoAllFloats with fuzzed payload
+// shapes (payload sizes, empty sends, self-sends, max-rank edges) on
+// both backends and checks the transpose property against a locally
+// rebuilt expectation. The seed corpus encodes the shapes of the
+// table-driven cases in collectives_test.go.
+func FuzzAlltoAll(f *testing.F) {
+	f.Add([]byte{}, byte(0))                       // single rank, empty
+	f.Add([]byte{3, 7, 8, 9}, byte(0))             // single rank self-send
+	f.Add([]byte{0, 0, 0, 0}, byte(3))             // all rows empty at P=4
+	f.Add([]byte{1, 42}, byte(3))                  // sparse self-and-neighbor sends
+	f.Add([]byte{4, 1, 2, 3, 4, 2, 5, 6}, byte(7)) // dense varying lengths at P=8
+	f.Fuzz(func(t *testing.T, data []byte, pb byte) {
+		p := 1 + int(pb)%8
+		for _, backend := range []Backend{Simulated, Real} {
+			cfg := Zero(p)
+			cfg.Backend = backend
+			err := Run(cfg, func(c *Ctx) {
+				in := c.AlltoAllInts(a2aCase(data, c.Rank(), p))
+				fo := make([][]float64, p)
+				for d, xs := range a2aCase(data, c.Rank(), p) {
+					for _, x := range xs {
+						fo[d] = append(fo[d], float64(x)/2)
+					}
+				}
+				fin := c.AlltoAllFloats(fo)
+				for s := 0; s < p; s++ {
+					want := a2aCase(data, s, p)[c.Rank()]
+					if len(want) == 0 && len(in[s]) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(in[s], want) {
+						t.Errorf("%v: rank %d from %d: got %v, want %v",
+							backend, c.Rank(), s, in[s], want)
+					}
+					for i, x := range want {
+						if fin[s][i] != float64(x)/2 {
+							t.Errorf("%v: rank %d floats from %d slot %d: got %v",
+								backend, c.Rank(), s, i, fin[s][i])
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", backend, err)
+			}
+		}
+	})
+}

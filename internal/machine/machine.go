@@ -14,12 +14,29 @@
 // The default cost model is calibrated to the Intel iPSC/860 hypercube
 // used in the paper this repository reproduces (Ponnusamy, Saltz,
 // Choudhary; Supercomputing '93).
+//
+// Two execution backends share this machinery (Config.Backend). The
+// default Simulated backend is the classic simulator above. The Real
+// backend (Run with Config.Backend = Real, or RunReal) executes the
+// same SPMD body as a worker pool pinned to min(GOMAXPROCS, Procs)
+// compute slots on the host cores: payloads are physically copied into
+// receiver memory, per-rank wall time is measured and max-reduced
+// (Stats.Elapsed, Elapsed), runs are context-cancellable, and per-rank
+// random streams (Ctx.Rand) are split from (Config.Seed, rank) so
+// results are bit-identical to the simulated backend and across
+// repeated runs. Both backends drive communication through the same
+// deterministic rendezvous, so a body computes identical results under
+// either; only the authoritative timing differs.
 package machine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
+
+	"chaos/internal/xrand"
 )
 
 // Topology selects how the per-hop latency term is computed for a
@@ -73,6 +90,20 @@ type Config struct {
 	// traffic charged by Ctx.Words (hashing, index translation,
 	// buffer copying and similar inspector work).
 	WordTime float64
+
+	// Backend selects the execution backend (see Backend). The zero
+	// value is Simulated, the classic virtual-clock simulator.
+	Backend Backend
+	// Workers caps the number of concurrently computing ranks on the
+	// Real backend (0 = min(GOMAXPROCS, Procs)). Ranks blocked in a
+	// receive or a collective release their compute slot, so any
+	// positive width is deadlock-free. Ignored by Simulated.
+	Workers int
+	// Seed is the base of the per-rank random streams returned by
+	// Ctx.Rand. Each rank's stream is split from (Seed, rank) alone —
+	// never from scheduling order — so draws are reproducible across
+	// runs and identical on both backends.
+	Seed uint64
 }
 
 // IPSC860 returns a cost model calibrated to the Intel iPSC/860
@@ -136,6 +167,22 @@ type Machine struct {
 	boxes []*mailbox
 	rdv   *rendezvous
 
+	// real marks the Real backend: receiver-side payload copies, and
+	// compute gated by the slots semaphore.
+	real bool
+	// slots is the compute-slot semaphore of the Real backend (nil on
+	// Simulated): a rank holds a token while running rank code and
+	// yields it while blocked (see Ctx.yield).
+	slots chan struct{}
+	// abortCh is closed on the first abort so slot acquirers and the
+	// context watcher unblock without a condition variable.
+	abortCh chan struct{}
+
+	// elapsed and clocks collect each rank's wall time and final
+	// virtual clock; each rank writes only its own index.
+	elapsed []time.Duration
+	clocks  []float64
+
 	abortMu  sync.Mutex
 	aborted  bool
 	abortErr error
@@ -147,6 +194,7 @@ func (m *Machine) abort(err error) {
 	if !m.aborted {
 		m.aborted = true
 		m.abortErr = err
+		close(m.abortCh)
 	}
 	m.abortMu.Unlock()
 	for _, b := range m.boxes {
@@ -172,6 +220,10 @@ type Ctx struct {
 	procs int
 	m     *Machine
 	clock float64
+	// holdsSlot tracks whether this rank currently occupies a Real-
+	// backend compute slot; only the owning goroutine touches it.
+	holdsSlot bool
+	rng       *xrand.Stream
 }
 
 // Rank returns this processor's rank in [0, Procs).
@@ -216,54 +268,30 @@ func (c *Ctx) checkAborted() {
 	}
 }
 
-// Run executes body on cfg.Procs simulated processors and blocks until
-// every rank returns. If any rank panics, Run unblocks the remaining
-// ranks and returns an error describing the first panic.
-func Run(cfg Config, body func(*Ctx)) error {
-	if cfg.Procs < 1 {
-		return fmt.Errorf("machine: invalid processor count %d", cfg.Procs)
+// Rand returns this rank's deterministic random stream, split from
+// (Config.Seed, rank) through SplitMix64. Because the split depends
+// only on the seed and the rank id — never on which worker slot or
+// host core runs the rank, nor on scheduling order — draws are
+// bit-identical across repeated runs and across backends.
+func (c *Ctx) Rand() *xrand.Stream {
+	if c.rng == nil {
+		c.rng = xrand.New(xrand.Hash64(c.m.cfg.Seed ^ xrand.Hash64(uint64(c.rank)+1)))
 	}
-	m := &Machine{cfg: cfg}
-	m.boxes = make([]*mailbox, cfg.Procs)
-	for i := range m.boxes {
-		m.boxes[i] = newMailbox(m)
-	}
-	m.rdv = newRendezvous(m, cfg.Procs)
+	return c.rng
+}
 
-	var wg sync.WaitGroup
-	wg.Add(cfg.Procs)
-	for r := 0; r < cfg.Procs; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					if _, ok := p.(abortSignal); ok {
-						return // secondary unwind; original error already recorded
-					}
-					m.abort(fmt.Errorf("machine: rank %d panicked: %v", rank, p))
-				}
-			}()
-			body(&Ctx{rank: rank, procs: cfg.Procs, m: m})
-		}(r)
-	}
-	wg.Wait()
-	_, err := m.abortedErr()
+// Run executes body on cfg.Procs processors under the backend selected
+// by cfg.Backend and blocks until every rank returns. If any rank
+// panics, Run unblocks the remaining ranks and returns an error
+// describing the first panic.
+func Run(cfg Config, body func(*Ctx)) error {
+	_, err := RunStats(context.Background(), cfg, body)
 	return err
 }
 
 // MaxClock runs body like Run and additionally returns the maximum
 // final virtual clock across ranks (the simulated makespan).
 func MaxClock(cfg Config, body func(*Ctx)) (float64, error) {
-	var mu sync.Mutex
-	maxT := 0.0
-	err := Run(cfg, func(c *Ctx) {
-		body(c)
-		t := c.Clock()
-		mu.Lock()
-		if t > maxT {
-			maxT = t
-		}
-		mu.Unlock()
-	})
-	return maxT, err
+	st, err := RunStats(context.Background(), cfg, body)
+	return st.MaxClock, err
 }

@@ -39,19 +39,37 @@ func (b *mailbox) put(src, tag int, msg message) {
 	b.cond.Broadcast()
 }
 
+// pop removes and returns the head message for k. Callers hold b.mu
+// and have checked the queue is non-empty.
+func (b *mailbox) pop(k mkey) message {
+	lst := b.q[k]
+	msg := lst[0]
+	if len(lst) == 1 {
+		delete(b.q, k)
+	} else {
+		b.q[k] = lst[1:]
+	}
+	return msg
+}
+
+// tryTake returns a matching message without blocking.
+func (b *mailbox) tryTake(src, tag int) (message, bool) {
+	k := mkey{src, tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.q[k]) > 0 {
+		return b.pop(k), true
+	}
+	return message{}, false
+}
+
 func (b *mailbox) take(src, tag int) (message, bool) {
 	k := mkey{src, tag}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		if lst := b.q[k]; len(lst) > 0 {
-			msg := lst[0]
-			if len(lst) == 1 {
-				delete(b.q, k)
-			} else {
-				b.q[k] = lst[1:]
-			}
-			return msg, true
+		if len(b.q[k]) > 0 {
+			return b.pop(k), true
 		}
 		if ab, _ := b.m.abortedErr(); ab {
 			return message{}, false
@@ -82,12 +100,21 @@ func (c *Ctx) Send(dst, tag int, payload any, bytes int) {
 // Recv blocks until a message with the given source and tag arrives and
 // returns its payload, advancing the virtual clock to the later of the
 // local clock and the message arrival time plus the receive overhead.
+// On the Real backend the rank yields its compute slot while blocked,
+// and slice payloads ([]int, []float64) are copied into fresh
+// receiver-owned memory on delivery.
 func (c *Ctx) Recv(src, tag int) any {
 	c.checkAborted()
 	if src < 0 || src >= c.procs {
 		panic(fmt.Sprintf("machine: Recv from invalid rank %d (P=%d)", src, c.procs))
 	}
-	msg, ok := c.m.boxes[c.rank].take(src, tag)
+	box := c.m.boxes[c.rank]
+	msg, ok := box.tryTake(src, tag)
+	if !ok {
+		c.yield(func() {
+			msg, ok = box.take(src, tag)
+		})
+	}
 	if !ok {
 		panic(abortSignal{})
 	}
@@ -95,7 +122,27 @@ func (c *Ctx) Recv(src, tag int) any {
 		c.clock = msg.arrive
 	}
 	c.clock += c.m.cfg.RecvOverhead
+	if c.m.real {
+		return realClone(msg.payload)
+	}
 	return msg.payload
+}
+
+// realClone copies slice payloads into receiver-owned memory — the
+// Real backend's physical delivery. Payload types the machine does not
+// know stay shared by reference, as documented on Send.
+func realClone(payload any) any {
+	switch xs := payload.(type) {
+	case []int:
+		cp := make([]int, len(xs))
+		copy(cp, xs)
+		return cp
+	case []float64:
+		cp := make([]float64, len(xs))
+		copy(cp, xs)
+		return cp
+	}
+	return payload
 }
 
 // SendInts sends a copy of xs to dst.

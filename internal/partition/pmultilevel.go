@@ -98,11 +98,16 @@ func (ml Multilevel) parallelPartitionLadder(c *machine.Ctx, g *geocol.Graph, np
 func buildLadder(c *machine.Ctx, g *geocol.Graph, serialTo int, maxW float64, seedBase uint64, part []int) ([]plevel, *geocol.Graph, []int) {
 	var levels []plevel
 	cur, curPart := g, part
+	// ghostBuf is handed back to PushIntsInto every level: the ghost
+	// part copy is only read within the level, so the ladder reuses one
+	// buffer instead of allocating per level.
+	var ghostBuf []int
 	for cur.N > serialTo {
 		ge := geocol.NewGhostExchange(c, cur)
 		var curGhost []int
 		if curPart != nil {
-			curGhost = ge.PushInts(c, curPart)
+			curGhost = ge.PushIntsInto(c, curPart, ghostBuf)
+			ghostBuf = curGhost
 		}
 		seed := seedBase + uint64(len(levels))*0x2545f4914f6cdd1d + uint64(cur.N)
 		match := distHeavyEdgeMatch(c, cur, ge, maxW, seed, curPart, curGhost)
@@ -336,6 +341,8 @@ func distRefine(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 	movedFlag := make([]bool, localN)
 	first := true
 
+	addBudget := make([]float64, nparts)
+	subBudget := make([]float64, nparts)
 	for pass := 0; pass < passes; pass++ {
 		movedGlobal := 0
 		for dir := 0; dir < 2; dir++ {
@@ -346,8 +353,6 @@ func distRefine(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 				}
 			}
 			first = false
-			addBudget := make([]float64, nparts)
-			subBudget := make([]float64, nparts)
 			for q := 0; q < nparts; q++ {
 				addBudget[q] = (maxA - W[q]) / float64(procs)
 				subBudget[q] = (W[q] - minA) / float64(procs)
