@@ -8,7 +8,15 @@ GO ?= go
 # coverage durably improves.
 COVER_FLOOR = 89.0
 
-.PHONY: check build vet lint analyze test race cover cover-check bench bench-json fuzz-short quickstart tables examples docs-check api-check api-snapshot
+.PHONY: check build vet lint analyze test race cover cover-check bench bench-json bench-gate bench-baseline profile-cpu profile-mem fuzz-short quickstart tables examples docs-check api-check api-snapshot
+
+# The BenchmarkHot* suite measures the steady state of the arena-backed
+# hot paths with -benchmem; the gate (cmd/benchjson -gate) fails CI when
+# any of them allocates past the checked-in BENCH_BASELINE.json (5%
+# scheduling-noise headroom, exact for allocation-free kernels) or slows
+# past 1.5x its baseline ns/op. Refresh the baseline with `make
+# bench-baseline` after an intentional perf change and commit the diff.
+BENCH_GATE_CMD = $(GO) test -run '^$$' -bench '^BenchmarkHot' -benchmem -benchtime 10x ./internal/partition ./internal/geocol
 
 check: build lint analyze test docs-check api-check
 
@@ -105,6 +113,32 @@ fuzz-short:
 bench-json:
 	$(GO) test -bench . -benchtime 5x -run '^$$' ./... | $(GO) run ./cmd/benchjson -o BENCH_local.json
 	@echo wrote BENCH_local.json
+
+# bench-gate is the allocs/op regression rail (required on pull
+# requests): hot-path benchmarks against BENCH_BASELINE.json.
+bench-gate:
+	$(BENCH_GATE_CMD) | $(GO) run ./cmd/benchjson -gate BENCH_BASELINE.json
+
+# bench-baseline re-records the gate baseline.
+bench-baseline:
+	$(BENCH_GATE_CMD) | $(GO) run ./cmd/benchjson -sha "" -o BENCH_BASELINE.json
+	@echo wrote BENCH_BASELINE.json
+
+# profile-cpu / profile-mem run the 21952-node distributed V-cycle
+# benchmark under the Go profiler and drop pprof files under the
+# git-ignored profiles/ directory; inspect them with
+# `go tool pprof profiles/cpu.out`. See README "Profiling".
+profile-cpu:
+	@mkdir -p profiles
+	$(GO) test -run '^$$' -bench BenchmarkParallelMultilevel8 -benchtime 5x \
+		-cpuprofile profiles/cpu.out -o profiles/partition.test ./internal/partition
+	@echo "wrote profiles/cpu.out; inspect with: go tool pprof profiles/partition.test profiles/cpu.out"
+
+profile-mem:
+	@mkdir -p profiles
+	$(GO) test -run '^$$' -bench BenchmarkParallelMultilevel8 -benchtime 5x -benchmem \
+		-memprofile profiles/mem.out -o profiles/partition.test ./internal/partition
+	@echo "wrote profiles/mem.out; inspect with: go tool pprof -sample_index=alloc_objects profiles/partition.test profiles/mem.out"
 
 quickstart:
 	$(GO) run ./examples/quickstart

@@ -19,6 +19,19 @@
 // the wall-time ratio of the smallest to the largest machine size is
 // stamped as "real_speedup", so the archive carries the real-cores
 // trajectory next to the virtual one.
+//
+// -gate <baseline.json> turns benchjson into the CI regression rail:
+// the parsed stdin is compared against the baseline document (itself
+// written by an earlier benchjson run, see `make bench-baseline`) and
+// the process exits non-zero when any baseline benchmark is missing
+// from the input, reports more than (1+alloc-tol)× the baseline
+// allocs/op (exact when the baseline is zero — an allocation-free
+// kernel must stay allocation-free), or exceeds ns-tol× the baseline
+// ns/op. Benchmarks present on stdin but absent from the baseline are
+// noted, not failed, so adding a benchmark does not require a
+// lockstep baseline refresh. Names are matched with the -GOMAXPROCS
+// suffix stripped, keyed by package, so baselines travel across
+// machines with different core counts.
 package main
 
 import (
@@ -170,10 +183,67 @@ func parseReal(r io.Reader) ([]RealRun, float64, error) {
 	return runs, speedup, sc.Err()
 }
 
+// gateKey identifies a benchmark across machines: package plus name
+// with the trailing -GOMAXPROCS suffix stripped (the suffix tracks the
+// host's core count, not the benchmark).
+func gateKey(b Benchmark) string {
+	name := b.Name
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return b.Pkg + " " + name
+}
+
+// compare gates cur against base: every baseline benchmark must be
+// present, must not allocate more than (1+allocTol)× its baseline
+// allocs/op (exactly zero when the baseline is zero), and must not run
+// longer than nsTol× its baseline ns/op. Returns the hard failures and
+// the informational notes (benchmarks without a baseline) separately.
+func compare(base, cur *Doc, allocTol, nsTol float64) (problems, notes []string) {
+	current := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[gateKey(b)] = b
+	}
+	seen := make(map[string]bool, len(base.Benchmarks))
+	for _, bb := range base.Benchmarks {
+		key := gateKey(bb)
+		seen[key] = true
+		cb, ok := current[key]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from input (removed, renamed, or failed to run?)", key))
+			continue
+		}
+		if baseA, ok := bb.Metrics["allocs/op"]; ok {
+			curA, ok := cb.Metrics["allocs/op"]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: baseline has allocs/op but input does not (run with -benchmem)", key))
+			} else if curA > baseA*(1+allocTol) {
+				problems = append(problems, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f (tolerance %.0f%%)", key, curA, baseA, allocTol*100))
+			}
+		}
+		if baseNs, ok := bb.Metrics["ns/op"]; ok && baseNs > 0 {
+			if curNs, ok := cb.Metrics["ns/op"]; ok && curNs > baseNs*nsTol {
+				problems = append(problems, fmt.Sprintf("%s: ns/op %.0f exceeds %.2fx baseline %.0f", key, curNs, nsTol, baseNs))
+			}
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if key := gateKey(b); !seen[key] {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (run `make bench-baseline` to pin it)", key))
+		}
+	}
+	return problems, notes
+}
+
 func main() {
 	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha to stamp the document with")
 	out := flag.String("o", "-", "output file (\"-\" = stdout)")
 	real := flag.String("real", "", "file holding `chaosbench -backend=real` output to merge into the document")
+	gate := flag.String("gate", "", "baseline JSON to gate against; exit non-zero on regression")
+	allocTol := flag.Float64("alloc-tol", 0.05, "allocs/op headroom over baseline (scheduling noise; zero baselines stay exact)")
+	nsTol := flag.Float64("ns-tol", 1.5, "ns/op failure threshold as a multiple of baseline")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -198,6 +268,32 @@ func main() {
 	if len(doc.Benchmarks) == 0 && len(doc.Real) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+	if *gate != "" {
+		raw, err := os.ReadFile(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		base := &Doc{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *gate, err)
+			os.Exit(1)
+		}
+		problems, notes := compare(base, doc, *allocTol, *nsTol)
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "benchjson: note: %s\n", n)
+		}
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: %s\n", p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("bench-gate OK: %d benchmarks within baseline %s\n", len(base.Benchmarks), *gate)
+		if *out == "-" {
+			return // gate mode only emits JSON when -o names a file
+		}
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

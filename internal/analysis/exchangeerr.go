@@ -43,27 +43,30 @@ var errResultFuncs = map[string]int{
 
 // valueResultFuncs return exchanged data that must be used.
 var valueResultFuncs = map[string]bool{
-	geocolPath + ".GhostExchange.PushInts":          true,
-	geocolPath + ".GhostExchange.PushFloats":        true,
-	geocolPath + ".GhostExchange.UpdateIntsTouched": true,
-	machinePath + ".Ctx.Recv":                       true,
-	machinePath + ".Ctx.RecvInts":                   true,
-	machinePath + ".Ctx.RecvFloats":                 true,
-	machinePath + ".Ctx.AlltoAllInts":               true,
-	machinePath + ".Ctx.AlltoAllFloats":             true,
-	machinePath + ".Ctx.AllGatherInt":               true,
-	machinePath + ".Ctx.AllGatherFloat":             true,
-	machinePath + ".Ctx.AllGatherInts":              true,
-	machinePath + ".Ctx.AllGatherFloats":            true,
-	machinePath + ".Ctx.AllReduceInt":               true,
-	machinePath + ".Ctx.AllReduceFloat":             true,
-	machinePath + ".Ctx.SumInt":                     true,
-	machinePath + ".Ctx.SumFloat":                   true,
-	machinePath + ".Ctx.MaxInt":                     true,
-	machinePath + ".Ctx.MaxFloat":                   true,
-	machinePath + ".Ctx.MinFloat":                   true,
-	machinePath + ".Ctx.BroadcastInts":              true,
-	machinePath + ".Ctx.BroadcastFloats":            true,
+	geocolPath + ".GhostExchange.PushInts":              true,
+	geocolPath + ".GhostExchange.PushIntsInto":          true,
+	geocolPath + ".GhostExchange.PushFloats":            true,
+	geocolPath + ".GhostExchange.PushFloatsInto":        true,
+	geocolPath + ".GhostExchange.UpdateIntsTouched":     true,
+	geocolPath + ".GhostExchange.UpdateIntsTouchedInto": true,
+	machinePath + ".Ctx.Recv":                           true,
+	machinePath + ".Ctx.RecvInts":                       true,
+	machinePath + ".Ctx.RecvFloats":                     true,
+	machinePath + ".Ctx.AlltoAllInts":                   true,
+	machinePath + ".Ctx.AlltoAllFloats":                 true,
+	machinePath + ".Ctx.AllGatherInt":                   true,
+	machinePath + ".Ctx.AllGatherFloat":                 true,
+	machinePath + ".Ctx.AllGatherInts":                  true,
+	machinePath + ".Ctx.AllGatherFloats":                true,
+	machinePath + ".Ctx.AllReduceInt":                   true,
+	machinePath + ".Ctx.AllReduceFloat":                 true,
+	machinePath + ".Ctx.SumInt":                         true,
+	machinePath + ".Ctx.SumFloat":                       true,
+	machinePath + ".Ctx.MaxInt":                         true,
+	machinePath + ".Ctx.MaxFloat":                       true,
+	machinePath + ".Ctx.MinFloat":                       true,
+	machinePath + ".Ctx.BroadcastInts":                  true,
+	machinePath + ".Ctx.BroadcastFloats":                true,
 }
 
 func runExchangeErr(pass *Pass) {

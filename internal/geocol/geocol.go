@@ -368,6 +368,62 @@ func Contract(xadj, adj []int, ew, w []float64, cmap []int, nc int) (cxadj, cadj
 	return ct.Contract(xadj, adj, ew, w, cmap, nc)
 }
 
+// CoarseAssembler holds the reusable scratch of the distributed
+// contraction (BuildCoarse): the ghost copy of the clustering, the
+// per-rank weight/edge routing tables, and the contribution triples of
+// the local CSR assembly. Like Contractor it is plain per-goroutine
+// state — the zero value is ready, buffers grow to the steady-state
+// high-water mark and are reused across levels and epochs, and nothing
+// the caller retains aliases them (the coarse Graph is always freshly
+// allocated).
+type CoarseAssembler struct {
+	ghostC []int
+	wIDs   [][]int
+	wVals  [][]float64
+	eIDs   [][]int
+	eW     [][]float64
+	tris   []coarseContrib
+}
+
+// coarseContrib is one routed fine-edge contribution: local coarse
+// source, global coarse neighbor, weight.
+type coarseContrib struct {
+	l, u int
+	w    float64
+}
+
+// growRankInts sizes a per-rank routing table to procs entries and
+// resets each entry to length zero, keeping every backing array; the
+// float twin below is identical.
+func growRankInts(s *[][]int, procs int) [][]int {
+	if cap(*s) < procs {
+		*s = make([][]int, procs)
+	}
+	*s = (*s)[:procs]
+	for r := range *s {
+		(*s)[r] = (*s)[r][:0]
+	}
+	return *s
+}
+
+func growRankFloats(s *[][]float64, procs int) [][]float64 {
+	if cap(*s) < procs {
+		*s = make([][]float64, procs)
+	}
+	*s = (*s)[:procs]
+	for r := range *s {
+		(*s)[r] = (*s)[r][:0]
+	}
+	return *s
+}
+
+// BuildCoarse is the one-shot convenience form of
+// CoarseAssembler.BuildCoarse.
+func BuildCoarse(c *machine.Ctx, g *Graph, ge *GhostExchange, cmap []int, coarseN int) *Graph {
+	var a CoarseAssembler
+	return a.BuildCoarse(c, g, ge, cmap, coarseN)
+}
+
 // BuildCoarse is the distributed build path of the contraction: it
 // collectively contracts a block-distributed Graph under a clustering
 // without ever gathering it. cmap maps each of this rank's home-local
@@ -391,36 +447,39 @@ func Contract(xadj, adj []int, ew, w []float64, cmap []int, nc int) (cxadj, cadj
 // per-edge weights. ge must be the exchange pattern of g (the caller
 // built it for the matching phase already). Collective; communication
 // and assembly work are charged to the virtual clock.
-func BuildCoarse(c *machine.Ctx, g *Graph, ge *GhostExchange, cmap []int, coarseN int) *Graph {
+//
+//chaos:hotpath
+func (a *CoarseAssembler) BuildCoarse(c *machine.Ctx, g *Graph, ge *GhostExchange, cmap []int, coarseN int) *Graph {
 	me, procs := c.Rank(), c.Procs()
-	ghostC := ge.PushInts(c, cmap)
+	ghostC := ge.PushIntsInto(c, cmap, a.ghostC)
+	a.ghostC = ghostC
 
 	coarse := &Graph{
 		N: coarseN, Home: dist.NewBlock(coarseN, procs),
 		HasLink: true, HasLoad: true,
 	}
-	lo := g.Home.Lo(me)
 	localN := g.LocalN(me)
 
 	// Route (coarse id, weight) and (coarse src, coarse dst, weight) to
 	// the coarse owner of the (source) coarse vertex. Edge ids and edge
 	// weights travel in two parallel exchanges with matching order.
-	wIDs := make([][]int, procs)
-	wVals := make([][]float64, procs)
-	eIDs := make([][]int, procs)
-	eW := make([][]float64, procs)
+	wIDs := growRankInts(&a.wIDs, procs)
+	wVals := growRankFloats(&a.wVals, procs)
+	eIDs := growRankInts(&a.eIDs, procs)
+	eW := growRankFloats(&a.eW, procs)
 	for l := 0; l < localN; l++ {
 		cv := cmap[l]
 		r := coarse.Home.Owner(cv)
 		wIDs[r] = append(wIDs[r], cv)
 		wVals[r] = append(wVals[r], g.Weight(l))
 		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
-			u := g.Adj[k]
 			var cu int
-			if g.Home.Owner(u) == me {
-				cu = cmap[u-lo]
+			// Loc resolves the neighbor to home index or ghost slot with
+			// one read — no ownership test, no id lookup.
+			if loc := ge.Loc[k]; loc >= 0 {
+				cu = cmap[loc]
 			} else {
-				cu = ghostC[ge.Slot(u)]
+				cu = ghostC[-loc-1]
 			}
 			if cu == cv {
 				continue // intra-cluster edge vanishes
@@ -451,17 +510,17 @@ func BuildCoarse(c *machine.Ctx, g *Graph, ge *GhostExchange, cmap []int, coarse
 
 	// Assemble the local coarse CSR: collect contributions, sort by
 	// (local coarse vertex, neighbor), merge duplicates by summing.
-	type contrib struct {
-		l, u int
-		w    float64
-	}
-	var tris []contrib
+	tris := a.tris[:0]
 	for r := 0; r < procs; r++ {
 		ids, ws := inEIDs[r], inEW[r]
 		for i := 0; i+1 < len(ids); i += 2 {
-			tris = append(tris, contrib{ids[i] - lo2, ids[i+1], ws[i/2]})
+			tris = append(tris, coarseContrib{ids[i] - lo2, ids[i+1], ws[i/2]})
 		}
 	}
+	a.tris = tris
+	// sort.Slice, NOT slices.SortFunc: both are unstable, and equal
+	// (l,u) groups below sum their float weights in sort output order —
+	// the exact algorithm is part of the bit-identity contract.
 	sort.Slice(tris, func(a, b int) bool {
 		if tris[a].l != tris[b].l {
 			return tris[a].l < tris[b].l

@@ -15,13 +15,31 @@ import (
 // so the pattern can be derived locally with no negotiation round. The
 // Push methods then move one value per boundary vertex; distributed
 // partitioners call them once per matching round or refinement sweep.
+//
+// The pattern is held entirely in flat index arrays — no maps. Loc
+// localizes every CSR adjacency slot once at construction, so the hot
+// loops of the distributed partitioners (matching rounds, FM sweeps,
+// coarse assembly) resolve a neighbor's home-or-ghost location with a
+// single array read instead of an ownership test plus a map lookup,
+// and the incremental exchanges address ghost slots by position in the
+// sender's send list, which the receiver converts to a slot with one
+// addition (recvStart).
 type GhostExchange struct {
 	// IDs holds the sorted global ids of this rank's ghost (off-rank
 	// neighbor) vertices; Push results are parallel to it.
-	IDs  []int
-	lo   int
-	slot map[int]int
+	IDs []int
+	// Loc localizes the owning graph's CSR: for adjacency slot k,
+	// Loc[k] >= 0 is the home-local index of Adj[k] when this rank owns
+	// it, and Loc[k] < 0 encodes ghost slot -(Loc[k]+1) otherwise.
+	// Indexed exactly like g.Adj; hot loops read it instead of calling
+	// Home.Owner and Slot per edge.
+	Loc []int
+	lo  int
 	// send[p] lists the home-local vertices rank p reads, ascending.
+	// By CSR symmetry this is exactly the run of rank p's ghost ids
+	// owned by this rank, in the same (ascending) order — which is what
+	// lets the incremental exchanges ship send-list positions instead
+	// of global ids.
 	send [][]int
 	// recvStart[p] is the offset in IDs where rank p's vertices begin
 	// (IDs is sorted and the home distribution is BLOCK, so each rank's
@@ -44,21 +62,20 @@ func NewGhostExchange(c *machine.Ctx, g *Graph) *GhostExchange {
 	me, procs := c.Rank(), c.Procs()
 	ge := &GhostExchange{
 		lo:   g.Home.Lo(me),
-		slot: make(map[int]int),
 		send: make([][]int, procs),
 	}
 	localN := g.LocalN(me)
-	seen := make(map[int]bool)
+	// Collect the remote endpoint of every edge, then sort and dedup:
+	// the ghost id list and each rank's send list come out of one flat
+	// pass with no map.
+	remote := make([]int, 0, len(g.Adj))
 	for l := 0; l < localN; l++ {
 		for _, v := range g.Neighbors(l) {
 			r := g.Home.Owner(v)
 			if r == me {
 				continue
 			}
-			if !seen[v] {
-				seen[v] = true
-				ge.IDs = append(ge.IDs, v)
-			}
+			remote = append(remote, v)
 			// l's ascend in the outer loop, so adjacent-duplicate
 			// suppression dedups each rank's send list.
 			if s := ge.send[r]; len(s) == 0 || s[len(s)-1] != l {
@@ -66,11 +83,15 @@ func NewGhostExchange(c *machine.Ctx, g *Graph) *GhostExchange {
 			}
 		}
 	}
-	sort.Ints(ge.IDs)
+	sort.Ints(remote)
+	for i, v := range remote {
+		if i == 0 || v != remote[i-1] {
+			ge.IDs = append(ge.IDs, v)
+		}
+	}
 	ge.recvStart = make([]int, procs+1)
 	r := 0
 	for i, v := range ge.IDs {
-		ge.slot[v] = i
 		for owner := g.Home.Owner(v); r < owner; {
 			r++
 			ge.recvStart[r] = i
@@ -78,6 +99,17 @@ func NewGhostExchange(c *machine.Ctx, g *Graph) *GhostExchange {
 	}
 	for ; r < procs; r++ {
 		ge.recvStart[r+1] = len(ge.IDs)
+	}
+	// Localize the CSR once: every adjacency slot resolves to a home
+	// index or a ghost slot here, never again in the sweeps. The
+	// assembly rides in the same inspector charge as the pattern scan.
+	ge.Loc = make([]int, len(g.Adj))
+	for k, v := range g.Adj {
+		if g.Home.Owner(v) == me {
+			ge.Loc[k] = v - ge.lo
+		} else {
+			ge.Loc[k] = -(sort.SearchInts(ge.IDs, v) + 1)
+		}
 	}
 	c.Words(localN + 2*len(ge.IDs))
 	ge.sendInts = make([][]int, procs)
@@ -93,8 +125,10 @@ func NewGhostExchange(c *machine.Ctx, g *Graph) *GhostExchange {
 }
 
 // Slot returns the index in IDs of ghost vertex v (which must be a
-// ghost of this rank).
-func (ge *GhostExchange) Slot(v int) int { return ge.slot[v] }
+// ghost of this rank). Hot loops should prefer Loc, which resolves the
+// slot of an adjacency position with one array read; Slot binary-
+// searches the sorted id list.
+func (ge *GhostExchange) Slot(v int) int { return sort.SearchInts(ge.IDs, v) }
 
 // PushInts exchanges one int per boundary vertex: vals is indexed by
 // home-local vertex, and the result is parallel to IDs. Collective.
@@ -132,51 +166,65 @@ func (ge *GhostExchange) PushIntsInto(c *machine.Ctx, vals []int, dst []int) []i
 }
 
 // UpdateInts is the incremental form of PushInts: only home vertices
-// with changed[l] set are exchanged (as explicit (id, value) pairs),
-// and the receiver applies them in place to its ghost copy from an
-// earlier PushInts. When few values change per round — refinement
+// with changed[l] set are exchanged (as explicit (position, value)
+// pairs), and the receiver applies them in place to its ghost copy from
+// an earlier PushInts. When few values change per round — refinement
 // sweeps move a few percent of the boundary — this replaces a dense
 // boundary exchange with a near-empty one, which matters because the
 // dense exchange's byte volume is what keeps distributed coarsening
 // from scaling on heavily interleaved vertex distributions. Collective.
 func (ge *GhostExchange) UpdateInts(c *machine.Ctx, vals []int, changed []bool, ghost []int) {
 	//chaosvet:ignore exchangeerr UpdateInts is the sanctioned no-touched-list wrapper; the payload lands in ghost, only the slot list is dropped
-	ge.UpdateIntsTouched(c, vals, changed, ghost)
+	ge.UpdateIntsTouchedInto(c, vals, changed, ghost, nil)
 }
 
 // UpdateIntsTouched is UpdateInts returning the ghost slots whose value
-// actually changed, in ascending slot order. Receivers that maintain
-// incremental state keyed on ghost values — the parallel FM refiner
-// keeps per-vertex gain and boundary caches that are only invalidated
-// by a neighbor's part changing — use the touched list to reprocess
-// exactly the affected vertices instead of rescanning the whole ghost
-// layer every round. Collective; the returned slice is freshly
-// allocated (nil when nothing changed).
+// actually changed, in ascending slot order (nil when nothing changed).
+// Receivers that maintain incremental state keyed on ghost values — the
+// parallel FM refiner keeps per-vertex gain and boundary caches that
+// are only invalidated by a neighbor's part changing — use the touched
+// list to reprocess exactly the affected vertices instead of rescanning
+// the whole ghost layer every round. Collective.
+func (ge *GhostExchange) UpdateIntsTouched(c *machine.Ctx, vals []int, changed []bool, ghost []int) []int {
+	return ge.UpdateIntsTouchedInto(c, vals, changed, ghost, nil)
+}
+
+// UpdateIntsTouchedInto is UpdateIntsTouched accumulating the touched
+// list into dst (overwritten, reused when its capacity suffices), so a
+// steady-state refinement sweep allocates nothing for the exchange.
+// The wire format is positional: each sender ships (index within its
+// send list, value), and the receiver converts the index to a ghost
+// slot with one addition — sender r's send list is exactly this rank's
+// run of ghost ids owned by r, in the same ascending order. Collective.
 //
 //chaos:hotpath
-func (ge *GhostExchange) UpdateIntsTouched(c *machine.Ctx, vals []int, changed []bool, ghost []int) []int {
+func (ge *GhostExchange) UpdateIntsTouchedInto(c *machine.Ctx, vals []int, changed []bool, ghost []int, dst []int) []int {
 	out := ge.resetUpdOut()
 	for r, ls := range ge.send {
-		for _, l := range ls {
+		for i, l := range ls {
 			if changed[l] {
-				out[r] = append(out[r], ge.lo+l, vals[l])
+				out[r] = append(out[r], i, vals[l])
 			}
 		}
 	}
 	in := c.AlltoAllInts(out)
-	// Senders are visited in rank order and each rank's ids arrive
-	// ascending, so slots (contiguous per rank, ascending within) come
-	// out sorted without an explicit sort.
-	var touched []int
-	for _, xs := range in {
+	// Senders are visited in rank order and each rank's positions
+	// arrive ascending, so slots (contiguous per rank, ascending
+	// within) come out sorted without an explicit sort.
+	touched := dst[:0]
+	for r, xs := range in {
+		base := ge.recvStart[r]
 		for i := 0; i+1 < len(xs); i += 2 {
-			s := ge.slot[xs[i]]
+			s := base + xs[i]
 			if ghost[s] != xs[i+1] {
 				ghost[s] = xs[i+1]
-				//chaosvet:ignore hotalloc touched is a freshly allocated return value by contract (nil when nothing changed) and its growth is bounded by the ghost-layer size
+				//chaosvet:ignore hotalloc touched reuses dst and its growth is bounded by the ghost-layer size; steady-state sweeps reach fixed capacity
 				touched = append(touched, s)
 			}
 		}
+	}
+	if len(touched) == 0 {
+		return nil
 	}
 	return touched
 }
@@ -191,32 +239,40 @@ func (ge *GhostExchange) resetUpdOut() [][]int {
 }
 
 // PushMarks is the one-bit form of UpdateInts for monotone flags (a
-// matched vertex never unmatches): only the ids of newly marked home
-// vertices travel, and the receiver sets the corresponding ghost flags
-// to 1. Collective.
+// matched vertex never unmatches): only the send-list positions of
+// newly marked home vertices travel, and the receiver sets the
+// corresponding ghost flags to 1. Collective.
 //
 //chaos:hotpath
 func (ge *GhostExchange) PushMarks(c *machine.Ctx, changed []bool, ghost []int) {
 	out := ge.resetUpdOut()
 	for r, ls := range ge.send {
-		for _, l := range ls {
+		for i, l := range ls {
 			if changed[l] {
-				out[r] = append(out[r], ge.lo+l)
+				out[r] = append(out[r], i)
 			}
 		}
 	}
 	in := c.AlltoAllInts(out)
-	for _, xs := range in {
-		for _, id := range xs {
-			ghost[ge.slot[id]] = 1
+	for r, xs := range in {
+		base := ge.recvStart[r]
+		for _, i := range xs {
+			ghost[base+i] = 1
 		}
 	}
 }
 
 // PushFloats is PushInts for float64 values.
+func (ge *GhostExchange) PushFloats(c *machine.Ctx, vals []float64) []float64 {
+	return ge.PushFloatsInto(c, vals, nil)
+}
+
+// PushFloatsInto is PushFloats delivering into dst when it has the
+// capacity (the float twin of PushIntsInto); dst's prior contents are
+// ignored. Collective.
 //
 //chaos:hotpath
-func (ge *GhostExchange) PushFloats(c *machine.Ctx, vals []float64) []float64 {
+func (ge *GhostExchange) PushFloatsInto(c *machine.Ctx, vals []float64, dst []float64) []float64 {
 	for r, ls := range ge.send {
 		buf := ge.sendFloats[r]
 		for i, l := range ls {
@@ -224,7 +280,13 @@ func (ge *GhostExchange) PushFloats(c *machine.Ctx, vals []float64) []float64 {
 		}
 	}
 	in := c.AlltoAllFloats(ge.sendFloats)
-	res := make([]float64, len(ge.IDs))
+	var res []float64
+	if cap(dst) >= len(ge.IDs) {
+		res = dst[:len(ge.IDs)]
+	} else {
+		//chaosvet:ignore hotalloc grows only when the caller's buffer is short; steady-state sweeps reuse it
+		res = make([]float64, len(ge.IDs))
+	}
 	for r, xs := range in {
 		copy(res[ge.recvStart[r]:ge.recvStart[r+1]], xs)
 	}

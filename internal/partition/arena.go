@@ -1,0 +1,169 @@
+package partition
+
+import (
+	"chaos/internal/geocol"
+)
+
+// This file is the scratch arena of the multilevel partitioner: one
+// per-run (and, through the Ladder, per-Repartitioner) bundle of every
+// reusable buffer the hot paths need — gain buckets, FM snapshots,
+// match-routing tables, projection/restriction routing, and the
+// coarse-graph assembler. A cold PartitionLadder call creates one
+// arena, threads it through coarsening, the serial solve, and every
+// refinement level, and retains it in the Ladder, so warm Repartition
+// epochs re-run the whole uncoarsening with steady-state capacity and
+// allocate (almost) nothing. The buffers grow monotonically to the
+// finest level's size and are never returned to callers: everything a
+// caller keeps (cmap, coarse Graphs, part vectors) stays freshly
+// allocated.
+//
+// An arena is single-goroutine state, like the Ladder that owns it:
+// each SPMD rank runs its own Partition call and owns its own arena.
+// The one deliberate aliasing rule: distHeavyEdgeMatch returns its
+// match vector out of the arena, valid only until the next matching on
+// the same arena — its sole caller (buildLadder) consumes it
+// immediately via numberCoarse.
+type arena struct {
+	kl    klScratch
+	kway  kwayScratch
+	fm    fmScratch
+	match matchScratch
+	proj  projScratch
+	asm   geocol.CoarseAssembler
+	ct    geocol.Contractor
+}
+
+// klScratch is the per-bisection scratch of the serial KL/FM refiner
+// (klRefineN): gain cache, locks, the balance-blocked stash, the move
+// sequence, and the candidate heap.
+type klScratch struct {
+	gains  []float64
+	locked []bool
+	stash  []int
+	seq    []klMove
+	heap   klHeap
+	// side/visited/queue seed klBisect's region-growing split.
+	side    []bool
+	visited []bool
+	queue   []int
+}
+
+// kwayScratch is the scratch of the serial k-way FM refiner
+// (kwayRefine): part weights, the per-candidate accumulator pair, gain
+// buckets, locks, stamps, the move log and the balance-blocked stash.
+type kwayScratch struct {
+	W, acc       []float64
+	seen         []bool
+	touchedParts []int
+	stamp        []int
+	locked       []bool
+	log          []fmMove
+	blocked      []fmCand
+	fb           fmBuckets
+}
+
+// fmScratch is the scratch of the distributed hill-climbing FM refiner
+// (parallelFM). ghostAdj is the flattened (CSR) reverse index from
+// ghost slot to adjacent home-local vertices; ghostPart the reused
+// ghost part copy; touched the reused touched-slot list of the
+// incremental exchanges.
+type fmScratch struct {
+	ghostPart     []int
+	ghostAdjStart []int
+	ghostAdj      []int
+	cutW          []float64
+	boundary      []bool
+	dirty         []bool
+	W             []float64
+	buf           []float64
+	acc           []float64
+	seen          []bool
+	touchedParts  []int
+	stamp         []int
+	locked        []bool
+	movedFlag     []bool
+	log           []fmMove
+	blocked       []fmCand
+	addBudget     []float64
+	subBudget     []float64
+	touched       []int
+	fb            fmBuckets
+}
+
+// matchScratch is the scratch of distributed matching and coarse
+// numbering (pcoarsen.go): home/ghost weights, the match and target
+// vectors, monotone matched flags, and the per-rank proposal and
+// notification routing.
+type matchScratch struct {
+	homeW        []float64
+	ghostW       []float64
+	match        []int
+	ghostMatched []int
+	newly        []bool
+	target       []int
+	props        [][]int
+	notify       [][]int
+}
+
+// projScratch is the scratch of partition projection and restriction
+// (pmultilevel.go): the sorted coarse-id list, its resolved parts, and
+// the per-rank request/reply routing.
+type projScratch struct {
+	need []int
+	val  []int
+	req  [][]int
+	rep  [][]int
+	out  [][]int
+}
+
+// growInts returns (*s)[:n] with arbitrary contents, reallocating only
+// when the capacity is short; the float/bool twins below are identical.
+// Callers that need zeroed contents clear explicitly — most hot-path
+// buffers are fully overwritten before use, and making that explicit
+// at the use site is the contract that keeps reuse safe.
+func growInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func growFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func growBools(s *[]bool, n int) []bool {
+	if cap(*s) < n {
+		*s = make([]bool, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growRanks sizes a per-rank routing table to procs entries and resets
+// each entry to length zero, keeping every per-rank backing array.
+func growRanks(s *[][]int, procs int) [][]int {
+	if cap(*s) < procs {
+		*s = make([][]int, procs)
+	}
+	*s = (*s)[:procs]
+	for r := range *s {
+		(*s)[r] = (*s)[r][:0]
+	}
+	return *s
+}
+
+// ensure readies reusable gain buckets: first use allocates the fixed
+// bucket array, later uses just empty it.
+func (fb *fmBuckets) ensure() {
+	if fb.buckets == nil {
+		fb.buckets = make([][]fmCand, 2*fmBucketSpan+1)
+		fb.head = make([]int, 2*fmBucketSpan+1)
+	}
+	fb.reset()
+}

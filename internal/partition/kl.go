@@ -7,6 +7,13 @@ import (
 	"chaos/internal/machine"
 )
 
+// klMove is one committed move of a klRefineN pass, kept so the tail
+// past the best prefix can be rolled back.
+type klMove struct {
+	v    int
+	gain float64
+}
+
 // klRefine improves a bisection with a Kernighan-Lin / Fiduccia-
 // Mattheyses style boundary pass: repeatedly move the vertex with the
 // best edge-cut gain to the other side, subject to a weight-balance
@@ -17,8 +24,8 @@ import (
 // partitioner can afford a pass at every uncoarsening level. Runs a
 // small fixed number of passes; deterministic (ties broken by original
 // vertex id).
-func klRefine(sg *subgraph, side []bool, targetLeftW float64) {
-	klRefineN(sg, side, targetLeftW, 4)
+func klRefine(s *klScratch, sg *subgraph, side []bool, targetLeftW float64) {
+	klRefineN(s, sg, side, targetLeftW, 4)
 }
 
 // klRefineN is klRefine with an explicit pass budget; the multilevel
@@ -26,7 +33,7 @@ func klRefine(sg *subgraph, side []bool, targetLeftW float64) {
 // whose boundaries get re-polished at every finer level anyway.
 //
 //chaos:hotpath
-func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
+func klRefineN(s *klScratch, sg *subgraph, side []bool, targetLeftW float64, passes int) {
 	const tol = 0.02 // allowed relative imbalance around the target
 	// plateau bounds how far a pass chases zero/negative-gain moves
 	// past its best prefix before giving up on the hill.
@@ -44,17 +51,16 @@ func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
 
 	// gains[v] is the cut-weight reduction when v switches sides (unit
 	// edge weights on the finest graph; aggregated multiplicities on
-	// coarse graphs). All per-pass scratch is allocated once here and
-	// reset between passes so a pass allocates nothing.
-	gains := make([]float64, sg.n)
-	locked := make([]bool, sg.n)
-	var stash []int
-	h := klHeap{orig: sg.orig}
-	type move struct {
-		v    int
-		gain float64
-	}
-	seq := make([]move, 0, sg.n)
+	// coarse graphs). All per-pass state lives in the arena scratch —
+	// fully overwritten below, so steady-state calls allocate nothing
+	// (gains and locked are recomputed for every vertex at each pass
+	// start; stash and seq are length-reset).
+	gains := growFloats(&s.gains, sg.n)
+	locked := growBools(&s.locked, sg.n)
+	stash := s.stash[:0]
+	h := &s.heap
+	h.orig = sg.orig
+	seq := s.seq[:0]
 
 	for pass := 0; pass < passes; pass++ {
 		// Seed the candidate heap with the boundary vertices; interior
@@ -136,7 +142,7 @@ func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
 				}
 			}
 			cum += bg
-			seq = append(seq, move{bv, bg})
+			seq = append(seq, klMove{bv, bg})
 			if cum > best {
 				best, bestAt = cum, len(seq)-1
 			}
@@ -168,6 +174,7 @@ func klRefineN(sg *subgraph, side []bool, targetLeftW float64, passes int) {
 			break
 		}
 	}
+	s.stash, s.seq = stash, seq // retain grown capacity for the next call
 }
 
 // KL is a standalone recursive Kernighan-Lin partitioner (Kernighan &
@@ -192,7 +199,13 @@ func (KL) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	if !g.HasLink {
 		panic("partition: KL requires a GeoCoL LINK component")
 	}
-	return serialBisectPartition(c, g, nparts, klBisect)
+	// One scratch per Partition call, shared by every bisection of the
+	// recursion tree; each rank runs its own call, so no sharing.
+	var s klScratch
+	return serialBisectPartition(c, g, nparts,
+		func(f *geocol.Full, verts []int, frac float64) ([]int, []int, int64) {
+			return klBisect(&s, f, verts, frac)
+		})
 }
 
 // klBisect seeds a split by breadth-first region growing from the
@@ -200,7 +213,7 @@ func (KL) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 // refines it with klRefine.
 //
 //chaos:hotpath
-func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flops int64) {
+func klBisect(s *klScratch, f *geocol.Full, verts []int, frac float64) (left, right []int, flops int64) {
 	sg := induce(f, verts)
 	totalW := 0.0
 	for i := 0; i < sg.n; i++ {
@@ -208,15 +221,21 @@ func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flo
 	}
 	target := totalW * frac
 
-	side := make([]bool, sg.n)
-	visited := make([]bool, sg.n)
+	side := growBools(&s.side, sg.n)
+	visited := growBools(&s.visited, sg.n)
+	for i := 0; i < sg.n; i++ {
+		side[i], visited[i] = false, false
+	}
 	grown := 0.0
 	// BFS over possibly disconnected subgraphs, restarting from the
 	// lowest unvisited vertex.
-	queue := make([]int, 0, sg.n)
+	queue := s.queue[:0]
+	// head indexes the BFS front instead of re-slicing, so the backing
+	// array survives intact for the next bisection.
+	head := 0
 	next := 0
 	for grown < target {
-		if len(queue) == 0 {
+		if head == len(queue) {
 			for next < sg.n && visited[next] {
 				next++
 			}
@@ -226,8 +245,8 @@ func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flo
 			queue = append(queue, next)
 			visited[next] = true
 		}
-		v := queue[0]
-		queue = queue[1:]
+		v := queue[head]
+		head++
 		if grown >= target {
 			break
 		}
@@ -241,8 +260,9 @@ func klBisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flo
 		}
 	}
 	sg.flops += int64(sg.n + len(sg.adj))
+	s.queue = queue
 
-	klRefine(sg, side, target)
+	klRefine(s, sg, side, target)
 
 	left = make([]int, 0, sg.n)
 	right = make([]int, 0, sg.n)

@@ -22,13 +22,17 @@ import (
 
 // Ladder is the retained coarsening ladder of a parallel MULTILEVEL
 // run: per level the fine graph, its ghost-exchange pattern and the
-// fine-to-coarse map, plus the coarsest (gathered-solve) graph. A
-// Ladder is per-rank state, like the Graph slices it holds.
+// fine-to-coarse map, plus the coarsest (gathered-solve) graph and the
+// scratch arena of the run that built it — warm Repartition epochs
+// re-run restriction, polish and uncoarsening refinement on the
+// already-grown buffers. A Ladder is per-rank state, like the Graph
+// slices it holds.
 type Ladder struct {
 	n        int
 	nparts   int
 	levels   []plevel
 	coarsest *geocol.Graph
+	ar       *arena
 }
 
 // N returns the global vertex count of the ladder's finest graph.
@@ -58,7 +62,10 @@ func (ml Multilevel) PartitionLadder(c *machine.Ctx, g *geocol.Graph, nparts int
 	if c.Procs() > 1 && thr > 0 && g.N >= thr && g.N > ml.serialTo(nparts) {
 		return ml.parallelPartitionLadder(c, g, nparts)
 	}
-	return serialBisectPartition(c, g, nparts, ml.bisect), nil
+	// One scratch arena per call on the serial path too: the recursion
+	// tree shares contraction and KL-refinement buffers.
+	ar := &arena{}
+	return serialBisectPartition(c, g, nparts, ml.bisecter(ar)), nil
 }
 
 // Reusable reports whether the ladder can warm-start a repartition of
@@ -111,6 +118,15 @@ func (ml Multilevel) Repartition(c *machine.Ctx, gNew *geocol.Graph, nparts int,
 		return ml.Partition(c, gNew, nparts)
 	}
 
+	// Warm epochs run on the cold run's retained arena: every scratch
+	// buffer below is already at steady-state capacity. The nil-guard
+	// covers hand-built ladders (tests) that never saw a cold run.
+	ar := ld.ar
+	if ar == nil {
+		ar = &arena{}
+		ld.ar = ar
+	}
+
 	// Restrict the previous partition down the retained ladder. Mixed
 	// clusters (boundary clusters whose members ended in different
 	// parts after fine-level refinement) take one member's part; the
@@ -118,19 +134,19 @@ func (ml Multilevel) Repartition(c *machine.Ctx, gNew *geocol.Graph, nparts int,
 	part := append([]int(nil), oldPart...)
 	for i := range ld.levels {
 		lv := ld.levels[i]
-		part = restrictPart(c, lv.fine, lv.cmap, lv.coarse.Home, part)
+		part = restrictPart(c, &ar.proj, lv.fine, lv.cmap, lv.coarse.Home, part)
 	}
 
-	serialKway(c, ld.coarsest, part, nparts, 8, ml.tol())
+	serialKway(c, ar, ld.coarsest, part, nparts, 8, ml.tol())
 
 	for i := len(ld.levels) - 1; i >= 0; i-- {
 		lv := ld.levels[i]
-		part = projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, part)
+		part = projectPart(c, &ar.proj, lv.fine, lv.cmap, lv.coarse.Home, part)
 		if i == 0 {
 			ge := geocol.NewGhostExchange(c, gNew)
-			ml.refineLevel(c, gNew, ge, part, nparts, true)
+			ml.refineLevel(c, ar, gNew, ge, part, nparts, true)
 		} else {
-			ml.refineLevel(c, lv.fine, lv.ge, part, nparts, false)
+			ml.refineLevel(c, ar, lv.fine, lv.ge, part, nparts, false)
 		}
 	}
 	return part

@@ -106,9 +106,18 @@ func (ml Multilevel) parallelThreshold() int {
 	return ml.ParallelThreshold
 }
 
+// bisecter binds the run's arena to the bisect callback shape
+// serialBisectPartition expects.
+func (ml Multilevel) bisecter(ar *arena) func(f *geocol.Full, verts []int, frac float64) ([]int, []int, int64) {
+	return func(f *geocol.Full, verts []int, frac float64) ([]int, []int, int64) {
+		return ml.bisect(ar, f, verts, frac)
+	}
+}
+
 // bisect runs one coarsen → spectral-bisect → uncoarsen+refine V-cycle
-// on the subgraph induced by verts.
-func (ml Multilevel) bisect(f *geocol.Full, verts []int, frac float64) (left, right []int, flops int64) {
+// on the subgraph induced by verts; ar supplies the contraction and
+// KL-refinement scratch shared across the recursion tree.
+func (ml Multilevel) bisect(ar *arena, f *geocol.Full, verts []int, frac float64) (left, right []int, flops int64) {
 	coarsenTo := ml.CoarsenTo
 	if coarsenTo <= 0 {
 		coarsenTo = 100
@@ -123,13 +132,12 @@ func (ml Multilevel) bisect(f *geocol.Full, verts []int, frac float64) (left, ri
 	// meaningfully (star-like or cap-bound regions).
 	levels := []*subgraph{sg}
 	var cmaps [][]int
-	var ct geocol.Contractor
 	for cur := sg; cur.n > coarsenTo; {
 		cmap, nc := heavyEdgeMatch(cur, totalW*0.01)
 		if nc > cur.n*9/10 {
 			break
 		}
-		next := contract(&ct, cur, cmap, nc)
+		next := contract(&ar.ct, cur, cmap, nc)
 		cmaps = append(cmaps, cmap)
 		levels = append(levels, next)
 		cur = next
@@ -139,7 +147,7 @@ func (ml Multilevel) bisect(f *geocol.Full, verts []int, frac float64) (left, ri
 	// graph of ~coarsenTo vertices, followed by one refinement pass.
 	coarsest := levels[len(levels)-1]
 	side := fiedlerSide(coarsest, frac)
-	klRefine(coarsest, side, target)
+	klRefine(&ar.kl, coarsest, side, target)
 
 	// Uncoarsening: project the side assignment through each matching
 	// and let the KL refiner polish the boundary at every level. The
@@ -159,7 +167,7 @@ func (ml Multilevel) bisect(f *geocol.Full, verts []int, frac float64) (left, ri
 		if l == 0 {
 			passes = 4
 		}
-		klRefineN(fine, fineSide, target, passes)
+		klRefineN(&ar.kl, fine, fineSide, target, passes)
 		side = fineSide
 	}
 

@@ -41,16 +41,20 @@ const matchRounds = 4
 // coarsens with (pmultilevel.go vcycleRefine).
 //
 // Returns match[l] = global id of home-local vertex l's partner, or -1
-// for vertices left as singletons. Collective and deterministic: the
-// rounds are bulk-synchronous and every tie-break is seeded.
+// for vertices left as singletons. The returned slice is arena scratch:
+// it stays valid only until the next matching on the same arena (its
+// sole caller consumes it immediately via numberCoarse). Collective and
+// deterministic: the rounds are bulk-synchronous and every tie-break is
+// seeded.
 //
 //chaos:hotpath
-func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, maxW float64, seed uint64, part, ghostPart []int) []int {
-	me, procs := c.Rank(), c.Procs()
+func distHeavyEdgeMatch(c *machine.Ctx, s *matchScratch, g *geocol.Graph, ge *geocol.GhostExchange, maxW float64, seed uint64, part, ghostPart []int) []int {
+	me := c.Rank()
+	procs := c.Procs()
 	lo := g.Home.Lo(me)
 	localN := g.LocalN(me)
 
-	homeW := make([]float64, localN)
+	homeW := growFloats(&s.homeW, localN)
 	for l := range homeW {
 		homeW[l] = g.Weight(l)
 	}
@@ -58,10 +62,11 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 	// the weight cap, so their ghost weights need not travel at all.
 	var ghostW []float64
 	if g.HasLoad && maxW > 0 {
-		ghostW = ge.PushFloats(c, homeW)
+		ghostW = ge.PushFloatsInto(c, homeW, s.ghostW)
+		s.ghostW = ghostW
 	}
 
-	match := make([]int, localN)
+	match := growInts(&s.match, localN)
 	for l := range match {
 		match[l] = -1
 	}
@@ -69,12 +74,19 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 	// only the ids newly matched in the previous round (PushMarks): the
 	// first round has nothing to push, and the total flag traffic of a
 	// matching is one boundary's worth instead of one per round.
-	ghostMatched := make([]int, len(ge.IDs))
-	newly := make([]bool, localN)
-	target := make([]int, localN)
-	// Proposal scratch, reused across rounds ([:0] reset keeps the
-	// steady-state capacity; AlltoAll copies payloads before delivery).
-	props := make([][]int, procs)
+	ghostMatched := growInts(&s.ghostMatched, len(ge.IDs))
+	newly := growBools(&s.newly, localN)
+	for l := 0; l < localN; l++ {
+		newly[l] = false
+	}
+	for i := range ghostMatched {
+		ghostMatched[i] = 0
+	}
+	target := growInts(&s.target, localN)
+	// Proposal scratch, reused across rounds and matchings ([:0] reset
+	// keeps the steady-state capacity; AlltoAll copies payloads before
+	// delivery).
+	props := growRanks(&s.props, procs)
 
 	for round := 0; round < matchRounds; round++ {
 		if round > 0 {
@@ -97,16 +109,19 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 			bestS := uint64(0)
 			for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
 				u := g.Adj[k]
+				// Loc resolves u to home index or ghost slot with one
+				// read — no ownership test, no id lookup.
+				loc := ge.Loc[k]
 				var uw float64
 				var uTaken bool
-				if g.Home.Owner(u) == me {
-					uTaken = match[u-lo] >= 0
-					uw = homeW[u-lo]
+				if loc >= 0 {
+					uTaken = match[loc] >= 0
+					uw = homeW[loc]
 				} else {
-					s := ge.Slot(u)
-					uTaken = ghostMatched[s] != 0
+					slot := -loc - 1
+					uTaken = ghostMatched[slot] != 0
 					if ghostW != nil {
-						uw = ghostW[s]
+						uw = ghostW[slot]
 					} else {
 						uw = 1
 					}
@@ -116,10 +131,10 @@ func distHeavyEdgeMatch(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchang
 				}
 				if part != nil {
 					var q int
-					if g.Home.Owner(u) == me {
-						q = part[u-lo]
+					if loc >= 0 {
+						q = part[loc]
 					} else {
-						q = ghostPart[ge.Slot(u)]
+						q = ghostPart[-loc-1]
 					}
 					if q != part[l] {
 						continue // restricted matching stays inside parts
@@ -196,8 +211,9 @@ func edgeScore(u, v int, salt uint64) uint64 {
 // fine-to-coarse map and the global coarse vertex count. Collective.
 //
 //chaos:hotpath
-func numberCoarse(c *machine.Ctx, g *geocol.Graph, match []int) (cmap []int, coarseN int) {
-	me, procs := c.Rank(), c.Procs()
+func numberCoarse(c *machine.Ctx, s *matchScratch, g *geocol.Graph, match []int) (cmap []int, coarseN int) {
+	me := c.Rank()
+	procs := c.Procs()
 	lo := g.Home.Lo(me)
 	localN := g.LocalN(me)
 
@@ -216,8 +232,10 @@ func numberCoarse(c *machine.Ctx, g *geocol.Graph, match []int) (cmap []int, coa
 		coarseN += n
 	}
 
+	// cmap is retained by the caller's ladder; only the notification
+	// routing is arena scratch.
 	cmap = make([]int, localN)
-	notify := make([][]int, procs)
+	notify := growRanks(&s.notify, procs)
 	for l := 0; l < localN; l++ {
 		switch {
 		case match[l] < 0:

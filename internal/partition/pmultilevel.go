@@ -48,6 +48,11 @@ type plevel struct {
 func (ml Multilevel) parallelPartitionLadder(c *machine.Ctx, g *geocol.Graph, nparts int) ([]int, *Ladder) {
 	serialTo := ml.serialTo(nparts)
 
+	// One arena per run, threaded through coarsening, the serial solve
+	// and every refinement level, then retained in the Ladder so warm
+	// Repartition epochs reuse the grown buffers.
+	ar := &arena{}
+
 	totalW := 0.0
 	for l := 0; l < g.LocalN(c.Rank()); l++ {
 		totalW += g.Weight(l)
@@ -55,7 +60,7 @@ func (ml Multilevel) parallelPartitionLadder(c *machine.Ctx, g *geocol.Graph, np
 	totalW = c.SumFloat(totalW)
 	maxW := totalW * 0.01
 
-	levels, cur, _ := buildLadder(c, g, serialTo, maxW, ml.Seed, nil)
+	levels, cur, _ := buildLadder(c, ar, g, serialTo, maxW, ml.Seed, nil)
 
 	// Coarsest-level solve: the serial multilevel V-cycle on the
 	// gathered coarse graph (weighted vertices and edges preserve the
@@ -64,25 +69,25 @@ func (ml Multilevel) parallelPartitionLadder(c *machine.Ctx, g *geocol.Graph, np
 	// each split, the polish is nearly free on the already-small graph,
 	// and every edge it removes is an edge no uncoarsening level has to
 	// fight for.
-	part := serialBisectPartition(c, cur, nparts, ml.bisect)
+	part := serialBisectPartition(c, cur, nparts, ml.bisecter(ar))
 	if ml.FMPasses >= 0 {
-		serialKway(c, cur, part, nparts, 8, ml.tol())
+		serialKway(c, ar, cur, part, nparts, 8, ml.tol())
 	}
 
 	// Uncoarsening: pull each home vertex's part from its coarse
 	// vertex's owner, then refine each level in place.
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
-		part = projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, part)
-		ml.refineLevel(c, lv.fine, lv.ge, part, nparts, i == 0)
+		part = projectPart(c, &ar.proj, lv.fine, lv.cmap, lv.coarse.Home, part)
+		ml.refineLevel(c, ar, lv.fine, lv.ge, part, nparts, i == 0)
 	}
 
 	if ml.VCycle && ml.FMPasses >= 0 {
-		ml.vcycleRefine(c, g, part, nparts, serialTo, maxW)
+		ml.vcycleRefine(c, ar, g, part, nparts, serialTo, maxW)
 	}
 	var ld *Ladder
 	if len(levels) > 0 {
-		ld = &Ladder{n: g.N, nparts: nparts, levels: levels, coarsest: cur}
+		ld = &Ladder{n: g.N, nparts: nparts, levels: levels, coarsest: cur, ar: ar}
 	}
 	return part, ld
 }
@@ -95,7 +100,7 @@ func (ml Multilevel) parallelPartitionLadder(c *machine.Ctx, g *geocol.Graph, np
 // is the coarsest level's copy; nil in the unrestricted case). seedBase
 // salts the tie-breaking so distinct ladders of one Partition call
 // decorrelate. Collective.
-func buildLadder(c *machine.Ctx, g *geocol.Graph, serialTo int, maxW float64, seedBase uint64, part []int) ([]plevel, *geocol.Graph, []int) {
+func buildLadder(c *machine.Ctx, ar *arena, g *geocol.Graph, serialTo int, maxW float64, seedBase uint64, part []int) ([]plevel, *geocol.Graph, []int) {
 	var levels []plevel
 	cur, curPart := g, part
 	// ghostBuf is handed back to PushIntsInto every level: the ghost
@@ -110,15 +115,15 @@ func buildLadder(c *machine.Ctx, g *geocol.Graph, serialTo int, maxW float64, se
 			ghostBuf = curGhost
 		}
 		seed := seedBase + uint64(len(levels))*0x2545f4914f6cdd1d + uint64(cur.N)
-		match := distHeavyEdgeMatch(c, cur, ge, maxW, seed, curPart, curGhost)
-		cmap, coarseN := numberCoarse(c, cur, match)
+		match := distHeavyEdgeMatch(c, &ar.match, cur, ge, maxW, seed, curPart, curGhost)
+		cmap, coarseN := numberCoarse(c, &ar.match, cur, match)
 		if coarseN*20 > cur.N*19 {
 			break
 		}
-		next := geocol.BuildCoarse(c, cur, ge, cmap, coarseN)
+		next := ar.asm.BuildCoarse(c, cur, ge, cmap, coarseN)
 		levels = append(levels, plevel{fine: cur, ge: ge, cmap: cmap, coarse: next})
 		if curPart != nil {
-			curPart = restrictPart(c, cur, cmap, next.Home, curPart)
+			curPart = restrictPart(c, &ar.proj, cur, cmap, next.Home, curPart)
 		}
 		cur = next
 	}
@@ -130,7 +135,7 @@ func buildLadder(c *machine.Ctx, g *geocol.Graph, serialTo int, maxW float64, se
 // positive-gain pass (distRefine) when FMPasses is negative. Interior
 // levels get a reduced pass budget — their boundary is re-refined at
 // every finer level — while the finest level gets the full one.
-func (ml Multilevel) refineLevel(c *machine.Ctx, fine *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts int, finest bool) {
+func (ml Multilevel) refineLevel(c *machine.Ctx, ar *arena, fine *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts int, finest bool) {
 	passes := 3
 	if finest {
 		passes = 4
@@ -141,7 +146,7 @@ func (ml Multilevel) refineLevel(c *machine.Ctx, fine *geocol.Graph, ge *geocol.
 	if ml.FMPasses < 0 {
 		distRefine(c, fine, ge, part, nparts, passes, ml.tol())
 	} else {
-		parallelFM(c, fine, ge, part, nparts, passes, ml.tol())
+		parallelFM(c, &ar.fm, fine, ge, part, nparts, passes, ml.tol())
 	}
 }
 
@@ -149,10 +154,10 @@ func (ml Multilevel) refineLevel(c *machine.Ctx, fine *geocol.Graph, ge *geocol.
 // with the serial k-way FM (kwayRefine), computed identically on every
 // rank under the replicated-cost convention; each rank then keeps its
 // home slice of the result. Collective.
-func serialKway(c *machine.Ctx, g *geocol.Graph, part []int, nparts, passes int, tol float64) {
+func serialKway(c *machine.Ctx, ar *arena, g *geocol.Graph, part []int, nparts, passes int, tol float64) {
 	f := g.Gather(c)
 	full := c.AllGatherInts(part)
-	c.Flops(int(kwayRefine(f.XAdj, f.Adj, f.EdgeW, f.Weights, full, nparts, passes, tol)))
+	c.Flops(int(kwayRefine(&ar.kway, f.XAdj, f.Adj, f.EdgeW, f.Weights, full, nparts, passes, tol)))
 	lo := g.Home.Lo(c.Rank())
 	for l := range part {
 		part[l] = full[lo+l]
@@ -170,20 +175,20 @@ func serialKway(c *machine.Ctx, g *geocol.Graph, part []int, nparts, passes int,
 // partition is written back into part. Roughly doubles the
 // partitioner's distributed cost for a small cut improvement, which is
 // why it sits behind the VCycle knob. Collective.
-func (ml Multilevel) vcycleRefine(c *machine.Ctx, g *geocol.Graph, part []int, nparts, serialTo int, maxW float64) {
-	levels, cur, cpart := buildLadder(c, g, serialTo, maxW, ml.Seed^0x9e3779b97f4a7c15, part)
+func (ml Multilevel) vcycleRefine(c *machine.Ctx, ar *arena, g *geocol.Graph, part []int, nparts, serialTo int, maxW float64) {
+	levels, cur, cpart := buildLadder(c, ar, g, serialTo, maxW, ml.Seed^0x9e3779b97f4a7c15, part)
 	if len(levels) == 0 {
 		return
 	}
 	if cur.N < ml.parallelThreshold() {
-		serialKway(c, cur, cpart, nparts, 8, ml.tol())
+		serialKway(c, ar, cur, cpart, nparts, 8, ml.tol())
 	} else {
-		parallelFM(c, cur, geocol.NewGhostExchange(c, cur), cpart, nparts, 3, ml.tol())
+		parallelFM(c, &ar.fm, cur, geocol.NewGhostExchange(c, cur), cpart, nparts, 3, ml.tol())
 	}
 	for i := len(levels) - 1; i >= 0; i-- {
 		lv := levels[i]
-		next := projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, cpart)
-		ml.refineLevel(c, lv.fine, lv.ge, next, nparts, i == 0)
+		next := projectPart(c, &ar.proj, lv.fine, lv.cmap, lv.coarse.Home, cpart)
+		ml.refineLevel(c, ar, lv.fine, lv.ge, next, nparts, i == 0)
 		cpart = next
 	}
 	copy(part, cpart)
@@ -192,10 +197,14 @@ func (ml Multilevel) vcycleRefine(c *machine.Ctx, g *geocol.Graph, part []int, n
 // restrictPart restricts a fine partition onto the coarse level of a
 // partition-preserving ladder: every member of a coarse cluster holds
 // the same part, so each rank routes one (coarse id, part) pair per
-// home fine vertex to the coarse owner. Collective.
-func restrictPart(c *machine.Ctx, fine *geocol.Graph, cmap []int, coarseHome dist.BlockDist, finePart []int) []int {
+// home fine vertex to the coarse owner. Collective. The per-rank
+// routing buffers come from the arena's projScratch; the returned
+// cpart is a fresh result and stays unpooled.
+//
+//chaos:hotpath
+func restrictPart(c *machine.Ctx, s *projScratch, fine *geocol.Graph, cmap []int, coarseHome dist.BlockDist, finePart []int) []int {
 	me, procs := c.Rank(), c.Procs()
-	out := make([][]int, procs)
+	out := growRanks(&s.out, procs)
 	for l, cv := range cmap {
 		r := coarseHome.Owner(cv)
 		out[r] = append(out[r], cv, finePart[l])
@@ -246,36 +255,46 @@ func (ml Multilevel) serialTo(nparts int) int {
 // projectPart projects a coarse part assignment onto the fine level:
 // each rank requests the part of every coarse vertex its home vertices
 // map to from the coarse vertex's block owner (one request/reply
-// AlltoAll pair), then reads the fine assignment off cmap. Collective.
-func projectPart(c *machine.Ctx, fine *geocol.Graph, cmap []int, coarseHome dist.BlockDist, coarsePart []int) []int {
+// AlltoAll pair), then reads the fine assignment off cmap. The
+// resolved parts live in an array parallel to the sorted distinct
+// coarse-id list (binary-searched per fine vertex) — O(local) memory
+// with no map, and all routing scratch is arena-owned. Collective.
+//
+//chaos:hotpath
+func projectPart(c *machine.Ctx, s *projScratch, fine *geocol.Graph, cmap []int, coarseHome dist.BlockDist, coarsePart []int) []int {
 	me, procs := c.Rank(), c.Procs()
 
-	need := append([]int(nil), cmap...)
+	need := append(s.need[:0], cmap...)
 	sort.Ints(need)
 	need = dedupSorted(need)
-	req := make([][]int, procs)
+	s.need = need
+	req := growRanks(&s.req, procs)
 	for _, cv := range need {
 		r := coarseHome.Owner(cv)
 		req[r] = append(req[r], cv)
 	}
 	in := c.AlltoAllInts(req)
 	lo2 := coarseHome.Lo(me)
-	rep := make([][]int, procs)
+	rep := growRanks(&s.rep, procs)
 	for r := 0; r < procs; r++ {
 		for _, cv := range in[r] {
 			rep[r] = append(rep[r], coarsePart[cv-lo2])
 		}
 	}
 	back := c.AlltoAllInts(rep)
-	val := make(map[int]int, len(need))
+	// need is sorted and block ownership is monotone in the id, so the
+	// per-rank request lists are consecutive runs of need: the replies
+	// concatenate into an array parallel to need.
+	val := growInts(&s.val, len(need))
+	j := 0
 	for r := 0; r < procs; r++ {
-		for i, cv := range req[r] {
-			val[cv] = back[r][i]
-		}
+		j += copy(val[j:], back[r])
 	}
+	// part is returned to the caller (and carried across levels), so it
+	// stays freshly allocated.
 	part := make([]int, len(cmap))
 	for l, cv := range cmap {
-		part[l] = val[cv]
+		part[l] = val[sort.SearchInts(need, cv)]
 	}
 	c.Words(2 * len(cmap))
 	return part

@@ -71,14 +71,18 @@ type fmCand struct {
 // local id. Gains outside ±fmBucketSpan clamp to the end buckets.
 type fmBuckets struct {
 	buckets [][]fmCand
-	hi      int // highest possibly-non-empty bucket index
-	n       int // live entry count (including stale)
+	head    []int // per-bucket pop cursor (consumed prefix)
+	hi      int   // highest possibly-non-empty bucket index
+	n       int   // live entry count (including stale)
 }
 
 const fmBucketSpan = 64
 
 func newFMBuckets() *fmBuckets {
-	return &fmBuckets{buckets: make([][]fmCand, 2*fmBucketSpan+1), hi: 0}
+	return &fmBuckets{
+		buckets: make([][]fmCand, 2*fmBucketSpan+1),
+		head:    make([]int, 2*fmBucketSpan+1),
+	}
 }
 
 func fmBucketIndex(gain float64) int {
@@ -102,14 +106,17 @@ func (fb *fmBuckets) push(cand fmCand) {
 	fb.n++
 }
 
-// pop returns the highest-gain candidate, or false when empty.
+// pop returns the highest-gain candidate, or false when empty. The
+// consumed prefix is tracked by a cursor, NOT by re-slicing the bucket
+// from the front — front-slicing would strand the popped capacity and
+// make every later push reallocate, defeating the arena.
 //
 //chaos:hotpath
 func (fb *fmBuckets) pop() (fmCand, bool) {
 	for fb.hi >= 0 {
-		if b := fb.buckets[fb.hi]; len(b) > 0 {
-			cand := b[0]
-			fb.buckets[fb.hi] = b[1:]
+		if b := fb.buckets[fb.hi]; fb.head[fb.hi] < len(b) {
+			cand := b[fb.head[fb.hi]]
+			fb.head[fb.hi]++
 			fb.n--
 			return cand, true
 		}
@@ -125,6 +132,7 @@ func (fb *fmBuckets) pop() (fmCand, bool) {
 func (fb *fmBuckets) reset() {
 	for i := range fb.buckets {
 		fb.buckets[i] = fb.buckets[i][:0]
+		fb.head[i] = 0
 	}
 	fb.hi = 0
 	fb.n = 0
@@ -142,7 +150,7 @@ func (fb *fmBuckets) reset() {
 // charge.
 //
 //chaos:hotpath
-func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int, tol float64) int64 {
+func kwayRefine(s *kwayScratch, xadj, adj []int, ew, w []float64, part []int, nparts, passes int, tol float64) int64 {
 	const plateau = 64
 	n := len(xadj) - 1
 	weight := func(v int) float64 {
@@ -158,7 +166,15 @@ func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int
 		return ew[k]
 	}
 
-	W := make([]float64, nparts)
+	// All per-call state comes from the arena scratch. W and seen are
+	// cleared here; locked is reset at every pass start; acc is guarded
+	// by seen; stamp may hold arbitrary values (bucket entries only
+	// compare stamps recorded in this call, and the buckets are reset).
+	W := growFloats(&s.W, nparts)
+	seen := growBools(&s.seen, nparts)
+	for q := 0; q < nparts; q++ {
+		W[q], seen[q] = 0, false
+	}
 	totalW := 0.0
 	for v := 0; v < n; v++ {
 		W[part[v]] += weight(v)
@@ -167,12 +183,12 @@ func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int
 	ideal := totalW / float64(nparts)
 	maxA, minA := ideal*(1+tol), ideal*(1-tol)
 
-	acc := make([]float64, nparts)
-	seen := make([]bool, nparts)
-	var touchedParts []int
-	stamp := make([]int, n)
-	fb := newFMBuckets()
-	locked := make([]bool, n)
+	acc := growFloats(&s.acc, nparts)
+	touchedParts := s.touchedParts
+	stamp := growInts(&s.stamp, n)
+	fb := &s.fb
+	fb.ensure()
+	locked := growBools(&s.locked, n)
 	var scanned int64
 
 	candidate := func(v int) (to int, gain float64, ok bool) {
@@ -207,8 +223,8 @@ func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int
 		return best, bestGain, true
 	}
 
-	var log []fmMove
-	var blocked []fmCand
+	log := s.log
+	blocked := s.blocked
 	for pass := 0; pass < passes; pass++ {
 		fb.reset()
 		for v := 0; v < n; v++ {
@@ -276,6 +292,8 @@ func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int
 			break
 		}
 	}
+	// Retain grown capacity for the next call on this arena.
+	s.touchedParts, s.log, s.blocked = touchedParts, log, blocked
 	return 2 * scanned
 }
 
@@ -289,20 +307,17 @@ func kwayRefine(xadj, adj []int, ew, w []float64, part []int, nparts, passes int
 // speculation resolves. Collective and deterministic.
 //
 //chaos:hotpath
-func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int, tol float64) {
-	me, procs := c.Rank(), c.Procs()
+func parallelFM(c *machine.Ctx, s *fmScratch, g *geocol.Graph, ge *geocol.GhostExchange, part []int, nparts, passes int, tol float64) {
+	me := c.Rank()
+	procs := c.Procs()
 	lo := g.Home.Lo(me)
 	localN := g.LocalN(me)
 
-	// partOf resolves the part of a global neighbor id from the home
-	// vector or the ghost copy.
-	ghostPart := ge.PushInts(c, part)
-	partOf := func(u int) int {
-		if g.Home.Owner(u) == me {
-			return part[u-lo]
-		}
-		return ghostPart[ge.Slot(u)]
-	}
+	// The ghost part copy lands in the arena buffer; ge.Loc resolves
+	// every neighbor to part or ghostPart with one array read, so the
+	// scan loops below carry no ownership test or id lookup.
+	ghostPart := ge.PushIntsInto(c, part, s.ghostPart)
+	s.ghostPart = ghostPart
 	edgeW := func(k int) float64 {
 		if g.EdgeW == nil {
 			return 1
@@ -310,17 +325,37 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 		return g.EdgeW[k]
 	}
 
-	// ghostAdj[s] lists the home-local vertices adjacent to ghost slot
-	// s — the reverse index that turns "ghost s changed" into "rescan
-	// these vertices". Built once per refine call, O(local E).
-	ghostAdj := make([][]int, len(ge.IDs))
+	// ghostAdj (CSR: start/items) lists the home-local vertices adjacent
+	// to each ghost slot — the reverse index that turns "ghost s
+	// changed" into "rescan these vertices". Built once per refine call
+	// in the arena by counting sort, O(local E), allocation-free at
+	// steady state.
+	start := growInts(&s.ghostAdjStart, len(ge.IDs)+1)
+	for i := range start {
+		start[i] = 0
+	}
+	for _, loc := range ge.Loc {
+		if loc < 0 {
+			start[-loc]++ // slot -loc-1 counts into start[slot+1]
+		}
+	}
+	for i := 0; i < len(ge.IDs); i++ {
+		start[i+1] += start[i]
+	}
+	items := growInts(&s.ghostAdj, start[len(ge.IDs)])
 	for l := 0; l < localN; l++ {
 		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
-			if u := g.Adj[k]; g.Home.Owner(u) != me {
-				ghostAdj[ge.Slot(u)] = append(ghostAdj[ge.Slot(u)], l)
+			if loc := ge.Loc[k]; loc < 0 {
+				slot := -loc - 1
+				items[start[slot]] = l
+				start[slot]++
 			}
 		}
 	}
+	// The fill advanced each start[s] to the old start[s+1]; shift back.
+	copy(start[1:], start)
+	start[0] = 0
+	ghostAdj := func(slot int) []int { return items[start[slot]:start[slot+1]] }
 
 	// Cached per-vertex state, refreshed only for vertices marked dirty
 	// by a local or remote move in their neighborhood:
@@ -328,16 +363,25 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 	//   boundary[l] whether l has any cross-part edge
 	// localCut is maintained incrementally from cutW deltas and checked
 	// against a full recomputation at every pass start.
-	cutW := make([]float64, localN)
-	boundary := make([]bool, localN)
-	dirty := make([]bool, localN)
+	cutW := growFloats(&s.cutW, localN)
+	boundary := growBools(&s.boundary, localN)
+	dirty := growBools(&s.dirty, localN)
+	for l := 0; l < localN; l++ {
+		dirty[l] = false
+	}
 	localCut := 0.0
 	refresh := func(l int) {
 		old := cutW[l]
 		w, bnd := 0.0, false
 		p := part[l]
 		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
-			if partOf(g.Adj[k]) != p {
+			q := 0
+			if loc := ge.Loc[k]; loc >= 0 {
+				q = part[loc]
+			} else {
+				q = ghostPart[-loc-1]
+			}
+			if q != p {
 				w += edgeW(k)
 				bnd = true
 			}
@@ -358,9 +402,9 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 	// syncState fuses the two collectives every sub-iteration boundary
 	// needs — part weights and exact global cut — into one allgather of
 	// nparts+1 floats per rank.
-	W := make([]float64, nparts)
+	W := growFloats(&s.W, nparts)
 	var cut float64
-	buf := make([]float64, nparts+1)
+	buf := growFloats(&s.buf, nparts+1)
 	syncState := func() {
 		for q := 0; q < nparts; q++ {
 			buf[q] = 0
@@ -389,18 +433,29 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 	ideal := totalW / float64(nparts)
 	maxA, minA := ideal*(1+tol), ideal*(1-tol)
 
-	// Per-candidate scratch for the selection scan.
-	acc := make([]float64, nparts)
-	seen := make([]bool, nparts)
-	var touchedParts []int
-	stamp := make([]int, localN)
-	fb := newFMBuckets()
-	locked := make([]bool, localN)
-	movedFlag := make([]bool, localN)
-	var log []fmMove
-	var blocked []fmCand
-	addBudget := make([]float64, nparts)
-	subBudget := make([]float64, nparts)
+	// Per-candidate scratch for the selection scan, all arena-owned:
+	// seen and movedFlag are cleared here, locked is reset per pass,
+	// acc is guarded by seen, the budgets are overwritten every
+	// sub-iteration, and stamp may hold arbitrary values (entries only
+	// compare stamps recorded in this call).
+	acc := growFloats(&s.acc, nparts)
+	seen := growBools(&s.seen, nparts)
+	for q := 0; q < nparts; q++ {
+		seen[q] = false
+	}
+	touchedParts := s.touchedParts
+	stamp := growInts(&s.stamp, localN)
+	fb := &s.fb
+	fb.ensure()
+	locked := growBools(&s.locked, localN)
+	movedFlag := growBools(&s.movedFlag, localN)
+	for l := 0; l < localN; l++ {
+		movedFlag[l] = false
+	}
+	log := s.log[:0]
+	blocked := s.blocked
+	addBudget := growFloats(&s.addBudget, nparts)
+	subBudget := growFloats(&s.subBudget, nparts)
 
 	// candidate computes l's best direction-eligible move: the adjacent
 	// part maximizing the cut gain (ties toward the smaller part id,
@@ -411,7 +466,12 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 		intW := 0.0
 		touchedParts = touchedParts[:0]
 		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
-			q := partOf(g.Adj[k])
+			q := 0
+			if loc := ge.Loc[k]; loc >= 0 {
+				q = part[loc]
+			} else {
+				q = ghostPart[-loc-1]
+			}
 			w := edgeW(k)
 			if q == p {
 				intW += w
@@ -575,12 +635,15 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 			// Conflict resolution: one batched exchange of the moved
 			// parts; the touched-slot list marks exactly the vertices
 			// whose cached gains a remote move invalidated.
-			touched := ge.UpdateIntsTouched(c, part, movedFlag, ghostPart)
+			touched := ge.UpdateIntsTouchedInto(c, part, movedFlag, ghostPart, s.touched)
+			if touched != nil {
+				s.touched = touched
+			}
 			for l := range movedFlag {
 				movedFlag[l] = false
 			}
-			for _, s := range touched {
-				for _, l := range ghostAdj[s] {
+			for _, slot := range touched {
+				for _, l := range ghostAdj(slot) {
 					dirty[l] = true
 				}
 			}
@@ -630,12 +693,15 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 					}
 				}
 			}
-			touched := ge.UpdateIntsTouched(c, part, movedFlag, ghostPart)
+			touched := ge.UpdateIntsTouchedInto(c, part, movedFlag, ghostPart, s.touched)
+			if touched != nil {
+				s.touched = touched
+			}
 			for l := range movedFlag {
 				movedFlag[l] = false
 			}
-			for _, s := range touched {
-				for _, l := range ghostAdj[s] {
+			for _, slot := range touched {
+				for _, l := range ghostAdj(slot) {
 					dirty[l] = true
 				}
 			}
@@ -654,4 +720,6 @@ func parallelFM(c *machine.Ctx, g *geocol.Graph, ge *geocol.GhostExchange, part 
 			break // no progress left for another pass to find
 		}
 	}
+	// Retain grown capacity for the next call on this arena.
+	s.touchedParts, s.log, s.blocked = touchedParts, log, blocked
 }

@@ -60,7 +60,7 @@ func TestParallelFMImprovesSeed(t *testing.T) {
 				part[l] = b.Owner(lo + l)
 			}
 			cut0 := distCut(c, g, ge, part)
-			parallelFM(c, g, ge, part, nparts, 4, 0.07)
+			parallelFM(c, new(fmScratch), g, ge, part, nparts, 4, 0.07)
 			cut1 := distCut(c, g, ge, part)
 			full := c.AllGatherInts(part)
 			if c.Rank() == 0 {
@@ -124,7 +124,7 @@ func TestParallelFMBeatsGreedy(t *testing.T) {
 				part[l] = b.Owner(lo + l)
 			}
 			if fm {
-				parallelFM(c, g, ge, part, nparts, 4, 0.07)
+				parallelFM(c, new(fmScratch), g, ge, part, nparts, 4, 0.07)
 			} else {
 				distRefine(c, g, ge, part, nparts, 4, 0.07)
 			}
@@ -166,7 +166,7 @@ func TestKwayRefineImprovesSeed(t *testing.T) {
 		part[v] = b.Owner(v)
 	}
 	before := CutEdges(f.XAdj, f.Adj, part)
-	kwayRefine(f.XAdj, f.Adj, nil, nil, part, nparts, 8, 0.07)
+	kwayRefine(new(kwayScratch), f.XAdj, f.Adj, nil, nil, part, nparts, 8, 0.07)
 	after := CutEdges(f.XAdj, f.Adj, part)
 	if after >= before {
 		t.Errorf("kwayRefine did not improve the BLOCK seed: cut %d -> %d", before, after)
@@ -184,7 +184,7 @@ func TestKwayRefineImprovesSeed(t *testing.T) {
 
 	// nparts=1: no boundary, no moves, no panic.
 	one := make([]int, f.N)
-	kwayRefine(f.XAdj, f.Adj, nil, nil, one, 1, 2, 0.07)
+	kwayRefine(new(kwayScratch), f.XAdj, f.Adj, nil, nil, one, 1, 2, 0.07)
 	for v, q := range one {
 		if q != 0 {
 			t.Fatalf("kwayRefine invented a part for vertex %d: %d", v, q)
@@ -259,17 +259,18 @@ func TestRestrictedMatchingPreservesParts(t *testing.T) {
 		for l := range part {
 			part[l] = b.Owner(lo + l)
 		}
-		levels, _, _ := buildLadder(c, g, 512, 0, 42, part)
+		ar := &arena{}
+		levels, _, _ := buildLadder(c, ar, g, 512, 0, 42, part)
 		if len(levels) == 0 {
 			panic("restricted ladder built no levels")
 		}
 		cpart := part
 		for _, lv := range levels {
-			cpart = restrictPart(c, lv.fine, lv.cmap, lv.coarse.Home, cpart)
+			cpart = restrictPart(c, &ar.proj, lv.fine, lv.cmap, lv.coarse.Home, cpart)
 		}
 		for i := len(levels) - 1; i >= 0; i-- {
 			lv := levels[i]
-			cpart = projectPart(c, lv.fine, lv.cmap, lv.coarse.Home, cpart)
+			cpart = projectPart(c, &ar.proj, lv.fine, lv.cmap, lv.coarse.Home, cpart)
 		}
 		for l := range part {
 			if cpart[l] != part[l] {

@@ -44,20 +44,23 @@ func (r RSB) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
 	if !g.HasLink {
 		panic("partition: RSB requires a GeoCoL LINK component")
 	}
+	// One refinement scratch per Partition call, shared by every
+	// bisection of the recursion tree (only used with Refine set).
+	var s klScratch
 	return serialBisectPartition(c, g, nparts,
 		func(f *geocol.Full, verts []int, frac float64) ([]int, []int, int64) {
-			return spectralBisect(f, verts, frac, r.Refine)
+			return spectralBisect(&s, f, verts, frac, r.Refine)
 		})
 }
 
 // spectralBisect splits verts into halves at the weighted median of
 // the Fiedler vector of the induced subgraph, returning the flop count
 // of the solve.
-func spectralBisect(f *geocol.Full, verts []int, frac float64, refine bool) (left, right []int, flops int64) {
+func spectralBisect(s *klScratch, f *geocol.Full, verts []int, frac float64, refine bool) (left, right []int, flops int64) {
 	sg := induce(f, verts)
 	side := fiedlerSide(sg, frac)
 	if refine {
-		klRefine(sg, side, sg.totalWeight()*frac)
+		klRefine(s, sg, side, sg.totalWeight()*frac)
 	}
 	left, right = splitSides(sg, side)
 	return left, right, sg.flops
