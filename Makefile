@@ -8,7 +8,7 @@ GO ?= go
 # coverage durably improves.
 COVER_FLOOR = 89.0
 
-.PHONY: check build vet lint analyze test race cover cover-check bench bench-json bench-gate bench-baseline profile-cpu profile-mem fuzz-short quickstart tables examples docs-check api-check api-snapshot
+.PHONY: check build vet lint analyze test race cover cover-check bench bench-json bench-gate bench-baseline profile-cpu profile-mem fuzz-short service-bench quickstart tables examples docs-check api-check api-snapshot
 
 # The BenchmarkHot* suite measures the steady state of the arena-backed
 # hot paths with -benchmem; the gate (cmd/benchjson -gate) fails CI when
@@ -108,6 +108,7 @@ bench:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzAlltoAll$$' -fuzztime 30s ./internal/machine
 	$(GO) test -run '^$$' -fuzz '^FuzzGhostExchange$$' -fuzztime 30s ./internal/geocol
+	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime 30s ./internal/service
 
 # bench-json emits the perf-trajectory document CI archives per push.
 bench-json:
@@ -139,6 +140,13 @@ profile-mem:
 	$(GO) test -run '^$$' -bench BenchmarkParallelMultilevel8 -benchtime 5x -benchmem \
 		-memprofile profiles/mem.out -o profiles/partition.test ./internal/partition
 	@echo "wrote profiles/mem.out; inspect with: go tool pprof -sample_index=alloc_objects profiles/partition.test profiles/mem.out"
+
+# service-bench runs the partitioning-service load study on the short
+# profile: a serial client, then 16 concurrent clients, against a
+# fresh in-process chaosd each — failing below a 2x aggregate
+# partitions/sec gain (the CI service job's acceptance gate).
+service-bench:
+	$(GO) run ./cmd/chaosbench -service -quick -min-speedup 2.0
 
 quickstart:
 	$(GO) run ./examples/quickstart

@@ -20,6 +20,14 @@
 // stamped as "real_speedup", so the archive carries the real-cores
 // trajectory next to the virtual one.
 //
+// -service <file> likewise ingests the "servicebench:" lines printed
+// by `chaosbench -service` (one per load-generation phase, key=value
+// format): each becomes an entry of the document's "service" array,
+// and the partitions/sec ratio of the last phase (the concurrent
+// fleet) over the first (the serial client) is stamped as
+// "service_speedup" — the daemon's cache-and-batching dividend,
+// archived next to the real-cores and virtual trajectories.
+//
 // -gate <baseline.json> turns benchjson into the CI regression rail:
 // the parsed stdin is compared against the baseline document (itself
 // written by an earlier benchjson run, see `make bench-baseline`) and
@@ -64,6 +72,21 @@ type RealRun struct {
 	VirtualS float64 `json:"virtual_s"`
 }
 
+// ServiceRun is one "servicebench:" line from `chaosbench -service`:
+// one load-generation phase against the partitioning daemon, with
+// aggregate throughput and the served-class mix.
+type ServiceRun struct {
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	PPS       float64 `json:"pps"`
+	HitRatio  float64 `json:"hit_ratio"`
+	Hits      int     `json:"hits"`
+	Cold      int     `json:"cold"`
+	Warm      int     `json:"warm"`
+	Shared    int     `json:"shared"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 // Doc is the archived JSON document.
 type Doc struct {
 	SHA        string      `json:"sha,omitempty"`
@@ -76,6 +99,12 @@ type Doc struct {
 	// real speedup). Absent when -real was not given.
 	Real        []RealRun `json:"real,omitempty"`
 	RealSpeedup float64   `json:"real_speedup,omitempty"`
+	// Service holds the partitioning-service load-study phases, and
+	// ServiceSpeedup the partitions/sec of its last phase (the
+	// concurrent fleet) divided by its first (the serial client).
+	// Absent when -service was not given.
+	Service        []ServiceRun `json:"service,omitempty"`
+	ServiceSpeedup float64      `json:"service_speedup,omitempty"`
 }
 
 // parse reads `go test -bench` output and collects the benchmark lines.
@@ -183,6 +212,66 @@ func parseReal(r io.Reader) ([]RealRun, float64, error) {
 	return runs, speedup, sc.Err()
 }
 
+// parseService reads `chaosbench -service` output and collects the
+// per-phase "servicebench:" cells, ignoring the summary lines. The
+// speedup is the partitions/sec of the last cell (the concurrent
+// fleet) over the first (the serial client); zero when fewer than two
+// cells are present.
+func parseService(r io.Reader) ([]ServiceRun, float64, error) {
+	var runs []ServiceRun
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "servicebench: ") {
+			continue
+		}
+		sr := ServiceRun{}
+		for _, kv := range strings.Fields(strings.TrimPrefix(line, "servicebench: ")) {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return nil, 0, fmt.Errorf("benchjson: bad servicebench field %q in %q", kv, line)
+			}
+			key, val := kv[:eq], kv[eq+1:]
+			var err error
+			switch key {
+			case "clients":
+				sr.Clients, err = strconv.Atoi(val)
+			case "requests":
+				sr.Requests, err = strconv.Atoi(val)
+			case "pps":
+				sr.PPS, err = strconv.ParseFloat(val, 64)
+			case "hit_ratio":
+				sr.HitRatio, err = strconv.ParseFloat(val, 64)
+			case "hits":
+				sr.Hits, err = strconv.Atoi(val)
+			case "cold":
+				sr.Cold, err = strconv.Atoi(val)
+			case "warm":
+				sr.Warm, err = strconv.Atoi(val)
+			case "shared":
+				sr.Shared, err = strconv.Atoi(val)
+			case "elapsed_ms":
+				sr.ElapsedMS, err = strconv.ParseFloat(val, 64)
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return nil, 0, fmt.Errorf("benchjson: bad servicebench field %q in %q", kv, line)
+			}
+		}
+		if sr.Clients <= 0 || sr.PPS <= 0 {
+			return nil, 0, fmt.Errorf("benchjson: servicebench line missing clients or pps: %q", line)
+		}
+		runs = append(runs, sr)
+	}
+	speedup := 0.0
+	if len(runs) >= 2 && runs[0].PPS > 0 {
+		speedup = runs[len(runs)-1].PPS / runs[0].PPS
+	}
+	return runs, speedup, sc.Err()
+}
+
 // gateKey identifies a benchmark across machines: package plus name
 // with the trailing -GOMAXPROCS suffix stripped (the suffix tracks the
 // host's core count, not the benchmark).
@@ -241,6 +330,7 @@ func main() {
 	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit sha to stamp the document with")
 	out := flag.String("o", "-", "output file (\"-\" = stdout)")
 	real := flag.String("real", "", "file holding `chaosbench -backend=real` output to merge into the document")
+	svc := flag.String("service", "", "file holding `chaosbench -service` output to merge into the document")
 	gate := flag.String("gate", "", "baseline JSON to gate against; exit non-zero on regression")
 	allocTol := flag.Float64("alloc-tol", 0.05, "allocs/op headroom over baseline (scheduling noise; zero baselines stay exact)")
 	nsTol := flag.Float64("ns-tol", 1.5, "ns/op failure threshold as a multiple of baseline")
@@ -265,7 +355,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if len(doc.Benchmarks) == 0 && len(doc.Real) == 0 {
+	if *svc != "" {
+		f, err := os.Open(*svc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Service, doc.ServiceSpeedup, err = parseService(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(doc.Benchmarks) == 0 && len(doc.Real) == 0 && len(doc.Service) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}

@@ -117,3 +117,63 @@ func TestParseEmptyInput(t *testing.T) {
 		t.Errorf("want no benchmarks, got %+v", doc.Benchmarks)
 	}
 }
+
+func TestParseService(t *testing.T) {
+	in := `chaosd: serving on 127.0.0.1:7850
+servicebench: clients=1 requests=8 pps=198.81 hit_ratio=0.500 hits=4 cold=4 warm=0 shared=0 elapsed_ms=40.2
+servicebench: clients=16 requests=128 pps=2180.71 hit_ratio=0.969 hits=112 cold=4 warm=0 shared=12 elapsed_ms=58.7
+servicebench-speedup: clients=16 vs=1 pps=10.97
+[against an external daemon the phases share its cache]
+`
+	runs, speedup, err := parseService(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	want0 := ServiceRun{Clients: 1, Requests: 8, PPS: 198.81, HitRatio: 0.5,
+		Hits: 4, Cold: 4, ElapsedMS: 40.2}
+	if runs[0] != want0 {
+		t.Errorf("runs[0] = %+v, want %+v", runs[0], want0)
+	}
+	if runs[1].Clients != 16 || runs[1].Shared != 12 || runs[1].HitRatio != 0.969 {
+		t.Errorf("runs[1] = %+v", runs[1])
+	}
+	if got := 2180.71 / 198.81; speedup != got {
+		t.Errorf("speedup = %v, want %v", speedup, got)
+	}
+}
+
+func TestParseServiceSingleCell(t *testing.T) {
+	runs, speedup, err := parseService(strings.NewReader(
+		"servicebench: clients=1 requests=8 pps=100 hit_ratio=0.5 hits=4 cold=4 warm=0 shared=0 elapsed_ms=40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || speedup != 0 {
+		t.Errorf("runs = %+v, speedup = %v; want one run and zero speedup", runs, speedup)
+	}
+}
+
+func TestParseServiceBadLines(t *testing.T) {
+	for _, in := range []string{
+		"servicebench: clients=1 pps=oops\n",         // bad float
+		"servicebench: clients=1\n",                  // missing pps
+		"servicebench: nonsense\n",                   // no key=value
+		"servicebench: bogus=1 clients=1 pps=2\n",    // unknown key
+		"servicebench: clients=one pps=2\n",          // bad int
+		"servicebench: clients=0 pps=2 requests=1\n", // non-positive clients
+	} {
+		if _, _, err := parseService(strings.NewReader(in)); err == nil {
+			t.Errorf("want error for %q", in)
+		}
+	}
+}
+
+func TestParseServiceEmpty(t *testing.T) {
+	runs, speedup, err := parseService(strings.NewReader("no servicebench lines here\n"))
+	if err != nil || len(runs) != 0 || speedup != 0 {
+		t.Errorf("got runs=%v speedup=%v err=%v; want empty", runs, speedup, err)
+	}
+}

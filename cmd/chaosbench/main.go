@@ -36,12 +36,24 @@
 // machine size with host wall time next to the virtual time the same
 // run charged, plus a closing speedup summary. cmd/benchjson -real
 // ingests these lines into BENCH_<sha>.json.
+//
+// -service switches to the partitioning-service load study: a serial
+// client and then -clients concurrent clients drive a chaosd server
+// (an in-process one on a loopback listener, or the daemon at
+// -connect) through the load generator, printing one parseable
+// "servicebench:" line per phase — partitions/sec, cache-hit ratio
+// and the served-class mix — plus a closing "servicebench-speedup:"
+// line with the concurrent-over-serial throughput ratio.
+// -min-speedup turns that ratio into a gate (exit non-zero below it);
+// cmd/benchjson -service ingests the lines into BENCH_<sha>.json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"time"
@@ -50,6 +62,7 @@ import (
 	"chaos/internal/machine"
 	"chaos/internal/partition"
 	"chaos/internal/report"
+	"chaos/internal/service"
 )
 
 // runRealStudy executes the real-cores speedup study: the RCB
@@ -83,6 +96,88 @@ func runRealStudy(quick bool, iters int) {
 		runtime.GOMAXPROCS(0))
 }
 
+// serviceLine renders one load-generation phase as the parseable
+// "servicebench:" key=value line benchjson ingests.
+func serviceLine(res *service.LoadGenResult) string {
+	return fmt.Sprintf("servicebench: clients=%d requests=%d pps=%.2f hit_ratio=%.3f hits=%d cold=%d warm=%d shared=%d elapsed_ms=%.1f",
+		res.Clients, res.Requests, res.PartsPerSec, res.HitRatio,
+		res.Hits, res.Cold, res.Warm, res.Shared,
+		float64(res.Elapsed.Nanoseconds())/1e6)
+}
+
+// runServiceStudy measures service throughput: the same per-client
+// request stream against a cold daemon, first with one serial client,
+// then with `clients` concurrent ones. The concurrent phase's
+// aggregate partitions/sec over the serial phase's is the service
+// speedup — the cache and singleflight layers are exactly what turns
+// 16 identical request streams into ~one stream of computes.
+func runServiceStudy(connect string, quick bool, clients, requests int, minSpeedup float64) {
+	nnode := 2000
+	if quick {
+		nnode = 600
+	}
+	cfg := service.LoadGenConfig{
+		Requests: requests,
+		Graphs:   4,
+		NNode:    nnode, Degree: 6,
+		NParts: 8, Procs: 4,
+		Spec: partition.Spec{
+			Method:            partition.MethodMultilevel,
+			ParallelThreshold: 256,
+			Seed:              1993,
+		},
+	}
+
+	// phase runs one load-generation pass. Without -connect each phase
+	// gets a fresh in-process daemon on a loopback listener, so both
+	// phases start cold and the comparison is honest; with -connect the
+	// daemon's cache persists across phases (noted on the output).
+	phase := func(nclients int) *service.LoadGenResult {
+		addr := connect
+		var srv *service.Server
+		if connect == "" {
+			srv = service.New(service.Options{})
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+				os.Exit(1)
+			}
+			go srv.Serve(l)
+			addr = l.Addr().String()
+		}
+		c := cfg
+		c.Clients = nclients
+		c.Dial = func() (*service.Client, error) { return service.Dial("tcp", addr) }
+		res, err := c.RunLoadGen(context.Background())
+		if srv != nil {
+			srv.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosbench: service study: %v\n", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	serial := phase(1)
+	fmt.Println(serviceLine(serial))
+	conc := phase(clients)
+	fmt.Println(serviceLine(conc))
+
+	speedup := 0.0
+	if serial.PartsPerSec > 0 {
+		speedup = conc.PartsPerSec / serial.PartsPerSec
+	}
+	fmt.Printf("servicebench-speedup: clients=%d vs=1 pps=%.2f\n", clients, speedup)
+	if connect != "" {
+		fmt.Println("[against an external daemon the phases share its cache; run against a fresh daemon for a cold comparison]")
+	}
+	if minSpeedup > 0 && speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "chaosbench: service speedup %.2fx below the %.2fx gate\n", speedup, minSpeedup)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
 		table     = flag.Int("table", 0, "table to regenerate (1-4); 0 = all")
@@ -92,8 +187,19 @@ func main() {
 		crossover = flag.Bool("crossover", false, "partitioner amortization/crossover study instead of tables")
 		adaptive  = flag.Bool("adaptive", false, "adaptive-mesh cold/warm repartition amortization study, emitted as JSON")
 		backend   = flag.String("backend", "sim", "execution backend: sim (virtual-clock tables) or real (real-cores speedup study)")
+
+		svc        = flag.Bool("service", false, "partitioning-service load study instead of tables")
+		connect    = flag.String("connect", "", "chaosd address for -service (empty = spawn an in-process daemon)")
+		clients    = flag.Int("clients", 16, "concurrent clients for the -service study")
+		requests   = flag.Int("requests", 8, "requests per client for the -service study")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail -service below this concurrent/serial pps ratio (0 = report only)")
 	)
 	flag.Parse()
+
+	if *svc {
+		runServiceStudy(*connect, *quick, *clients, *requests, *minSpeedup)
+		return
+	}
 
 	grid := experiments.PaperGrid()
 	if *quick {

@@ -195,6 +195,22 @@ func (g *Graph) Weight(l int) float64 {
 	return g.Weights[l]
 }
 
+// Bytes reports the approximate heap footprint of this rank's slice of
+// the graph — the CSR, edge weights, coordinates and load weights — in
+// bytes. The service layer's cache uses it to account retained
+// coarsening ladders against its memory cap.
+func (g *Graph) Bytes() int {
+	if g == nil {
+		return 0
+	}
+	b := 8 * (len(g.XAdj) + len(g.Adj))
+	b += 8 * (len(g.EdgeW) + len(g.Weights))
+	for _, col := range g.Coords {
+		b += 8 * len(col)
+	}
+	return b
+}
+
 // Full is a gathered (replicated) GeoCoL graph used by serial
 // partitioners such as recursive spectral bisection.
 type Full struct {

@@ -57,6 +57,30 @@ type GhostExchange struct {
 	updOut     [][]int
 }
 
+// Bytes reports the approximate heap footprint of the exchange
+// pattern's retained index arrays and send buffers, in bytes; the
+// service cache accounts retained ladders (which hold one exchange per
+// level) against its memory cap with it.
+func (ge *GhostExchange) Bytes() int {
+	if ge == nil {
+		return 0
+	}
+	b := 8 * (len(ge.IDs) + len(ge.Loc) + len(ge.recvStart))
+	for _, s := range ge.send {
+		b += 8 * len(s)
+	}
+	for _, s := range ge.sendInts {
+		b += 8 * len(s)
+	}
+	for _, s := range ge.sendFloats {
+		b += 8 * len(s)
+	}
+	for _, s := range ge.updOut {
+		b += 8 * len(s)
+	}
+	return b
+}
+
 // NewGhostExchange derives the exchange pattern of g; purely local.
 func NewGhostExchange(c *machine.Ctx, g *Graph) *GhostExchange {
 	me, procs := c.Rank(), c.Procs()

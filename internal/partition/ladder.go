@@ -44,6 +44,24 @@ func (ld *Ladder) NParts() int { return ld.nparts }
 // Depth returns the number of coarsening levels retained.
 func (ld *Ladder) Depth() int { return len(ld.levels) }
 
+// Bytes reports the approximate heap footprint of the retained ladder
+// on this rank: the cached fine graphs, ghost-exchange patterns and
+// fine-to-coarse maps of every level plus the coarsest graph. The
+// scratch arena is excluded — it is bounded by the largest level the
+// ladder already accounts for. The service layer's cache charges
+// retained ladders against its memory cap with it.
+func (ld *Ladder) Bytes() int {
+	if ld == nil {
+		return 0
+	}
+	b := ld.coarsest.Bytes()
+	for i := range ld.levels {
+		lv := &ld.levels[i]
+		b += lv.fine.Bytes() + lv.ge.Bytes() + 8*len(lv.cmap)
+	}
+	return b
+}
+
 // PartitionLadder runs Partition and, when the distributed multilevel
 // path was taken, additionally retains the coarsening ladder for
 // incremental reuse; the ladder is nil when the serial

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"chaos/internal/partition"
+)
+
+// The cache is the paper's schedule-reuse economy lifted to
+// cross-request scope: pay for partitioning (and, for MULTILEVEL, for
+// building the coarsening ladder) once, then amortize across every
+// client of the daemon. It is content-addressed — the key derives from
+// the graph's content hash plus the canonicalized spec — so identical
+// requests from unrelated clients collide on purpose.
+//
+// Two kinds of entries live side by side under one memory cap:
+//
+//   - graph entries: fingerprint → edge lists (+ coords/weights),
+//     kept so later requests can name the graph by fingerprint and
+//     ship only a churn delta;
+//   - result entries: (fingerprint, spec, nparts, procs) → finished
+//     part vector, stats, and — after a cold distributed MULTILEVEL
+//     run — the per-rank retained coarsening ladders that warm-start
+//     churned descendants of the graph.
+//
+// Leases protect entries in use: every read or warm-compute against an
+// entry holds a lease (a refcount), and the evictor never removes a
+// leased entry, however far over the cap the cache is — eviction
+// mid-lease would hand a request a part vector or ladder being freed
+// under it. Eviction is LRU over the unleased remainder.
+
+// resultKey identifies one cached partition result. Spec is the
+// canonical Spec.String() form (options sorted, defaults elided), so
+// two specs that mean the same thing hit the same entry.
+type resultKey struct {
+	fp     Fingerprint
+	spec   string
+	nparts int
+	procs  int
+}
+
+// graphContent is the server-side graph payload: the canonical,
+// immutable content a fingerprint addresses.
+type graphContent struct {
+	n       int
+	e1, e2  []int
+	coords  [][]float64
+	weights []float64
+}
+
+// bytes reports the heap footprint of the content.
+func (gc *graphContent) bytes() int64 {
+	b := int64(8 * (len(gc.e1) + len(gc.e2) + len(gc.weights)))
+	for _, col := range gc.coords {
+		b += int64(8 * len(col))
+	}
+	return b
+}
+
+// fingerprint computes the stable content address: FNV-1a/64 over a
+// canonical little-endian stream of every component. Deterministic
+// across processes and architectures, so fingerprints are valid
+// cross-client currency.
+func (gc *graphContent) fingerprint() Fingerprint {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wi(0x63686165736431) // "chaosd1" domain separator
+	wi(uint64(gc.n))
+	wi(uint64(len(gc.e1)))
+	for i := range gc.e1 {
+		wi(uint64(gc.e1[i]))
+		wi(uint64(gc.e2[i]))
+	}
+	wi(uint64(len(gc.coords)))
+	for _, col := range gc.coords {
+		wi(uint64(len(col)))
+		for _, x := range col {
+			wi(math.Float64bits(x))
+		}
+	}
+	wi(uint64(len(gc.weights)))
+	for _, x := range gc.weights {
+		wi(math.Float64bits(x))
+	}
+	return Fingerprint(h.Sum64())
+}
+
+// graphEntry is one cached graph payload.
+type graphEntry struct {
+	fp     Fingerprint
+	gc     *graphContent
+	size   int64
+	leases int
+	elem   *list.Element
+}
+
+// resultEntry is one cached partition result. part, cut and the
+// timing figures are immutable after insertion; ladders are mutable
+// scratch-bearing state, so warm computes serialize on warmMu (and
+// hold a lease, so the entry cannot be evicted mid-compute).
+type resultEntry struct {
+	key      resultKey
+	part     []int
+	cut      int
+	virtualS float64
+	wallMS   float64
+	// ladders holds the per-rank retained coarsening ladders of the
+	// cold run that produced this entry; nil when the serial path ran
+	// or the entry came from a warm/non-multilevel compute.
+	ladders []*partition.Ladder
+	// warmMu serializes warm repartitions off this entry's ladders:
+	// the ladders share one scratch arena per rank, so two concurrent
+	// warm computes against the same base would race on it.
+	warmMu sync.Mutex
+
+	size   int64
+	leases int
+	elem   *list.Element
+}
+
+// hasLadders reports whether the entry can warm-start a same-shape
+// repartition at the given machine width.
+func (e *resultEntry) hasLadders(n, nparts, procs int) bool {
+	if len(e.ladders) != procs {
+		return false
+	}
+	for _, ld := range e.ladders {
+		if ld == nil || ld.Depth() == 0 || ld.N() != n || ld.NParts() != nparts {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheStats is a point-in-time cache summary.
+type CacheStats struct {
+	Graphs    int
+	Results   int
+	Bytes     int64
+	CapBytes  int64
+	Evictions int64
+}
+
+// cache is the shared store. All fields are guarded by mu; leases are
+// manipulated only under it.
+type cache struct {
+	mu        sync.Mutex
+	capBytes  int64
+	used      int64
+	graphs    map[Fingerprint]*graphEntry
+	results   map[resultKey]*resultEntry
+	lru       *list.List // *graphEntry | *resultEntry; front = oldest
+	evictions int64
+}
+
+func newCache(capBytes int64) *cache {
+	return &cache{
+		capBytes: capBytes,
+		graphs:   make(map[Fingerprint]*graphEntry),
+		results:  make(map[resultKey]*resultEntry),
+		lru:      list.New(),
+	}
+}
+
+// putGraph inserts (or refreshes) a graph payload and returns the
+// entry with one lease held; the caller must releaseGraph it.
+func (c *cache) putGraph(fp Fingerprint, gc *graphContent) *graphEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ge, ok := c.graphs[fp]; ok {
+		ge.leases++
+		c.lru.MoveToBack(ge.elem)
+		return ge
+	}
+	ge := &graphEntry{fp: fp, gc: gc, size: gc.bytes() + 64, leases: 1}
+	ge.elem = c.lru.PushBack(ge)
+	c.graphs[fp] = ge
+	c.used += ge.size
+	c.evict()
+	return ge
+}
+
+// leaseGraph returns the graph entry for fp with one lease held, or
+// false when the fingerprint is unknown (evicted or never seen).
+func (c *cache) leaseGraph(fp Fingerprint) (*graphEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ge, ok := c.graphs[fp]
+	if !ok {
+		return nil, false
+	}
+	ge.leases++
+	c.lru.MoveToBack(ge.elem)
+	return ge, true
+}
+
+func (c *cache) releaseGraph(ge *graphEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ge.leases--
+	c.evict()
+}
+
+// putResult inserts a finished partition result and returns the
+// canonical entry with one lease held (when an identical key raced in
+// first, the existing entry wins and the new one is dropped — the two
+// are bit-identical by determinism).
+func (c *cache) putResult(e *resultEntry) *resultEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.results[e.key]; ok {
+		old.leases++
+		c.lru.MoveToBack(old.elem)
+		return old
+	}
+	e.size = int64(8*len(e.part)) + 128
+	for _, ld := range e.ladders {
+		e.size += int64(ld.Bytes())
+	}
+	e.leases++
+	e.elem = c.lru.PushBack(e)
+	c.results[e.key] = e
+	c.used += e.size
+	c.evict()
+	return e
+}
+
+// leaseResult returns the result entry for key with one lease held.
+func (c *cache) leaseResult(key resultKey) (*resultEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.results[key]
+	if !ok {
+		return nil, false
+	}
+	e.leases++
+	c.lru.MoveToBack(e.elem)
+	return e, true
+}
+
+func (c *cache) releaseResult(e *resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.leases--
+	c.evict()
+}
+
+// evict walks the LRU from the oldest end, removing unleased entries
+// until the cache fits its cap. Leased entries are skipped — never
+// evicted mid-lease — so the cache can transiently exceed the cap
+// while every resident entry is in use. Caller holds mu.
+func (c *cache) evict() {
+	if c.capBytes <= 0 {
+		return // unbounded
+	}
+	for el := c.lru.Front(); el != nil && c.used > c.capBytes; {
+		next := el.Next()
+		switch e := el.Value.(type) {
+		case *graphEntry:
+			if e.leases == 0 {
+				c.lru.Remove(el)
+				delete(c.graphs, e.fp)
+				c.used -= e.size
+				c.evictions++
+			}
+		case *resultEntry:
+			if e.leases == 0 {
+				c.lru.Remove(el)
+				delete(c.results, e.key)
+				c.used -= e.size
+				c.evictions++
+			}
+		}
+		el = next
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Graphs:    len(c.graphs),
+		Results:   len(c.results),
+		Bytes:     c.used,
+		CapBytes:  c.capBytes,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"testing"
+)
+
+// mkResult builds a result entry whose part vector dominates its
+// size: 8*n bytes + 128 overhead.
+func mkResult(fp Fingerprint, n int) *resultEntry {
+	return &resultEntry{
+		key:  resultKey{fp: fp, spec: "MULTILEVEL", nparts: 2, procs: 1},
+		part: make([]int, n),
+	}
+}
+
+// TestCacheEvictionNeverMidLease pins the lease contract: however far
+// over its cap the cache is pushed, a leased entry survives; the
+// moment its lease drops it becomes fair game.
+func TestCacheEvictionNeverMidLease(t *testing.T) {
+	// Cap fits roughly two 100-part results (928 bytes each).
+	c := newCache(2000)
+
+	a := c.putResult(mkResult(1, 100)) // leased by put
+	b := c.putResult(mkResult(2, 100))
+	c.releaseResult(b) // a stays leased; b is evictable
+
+	// Blow past the cap repeatedly. a is leased and must survive every
+	// eviction pass; the filler entries and b go.
+	for fp := Fingerprint(10); fp < 20; fp++ {
+		e := c.putResult(mkResult(fp, 100))
+		c.releaseResult(e)
+	}
+	if _, ok := c.leaseResult(a.key); !ok {
+		t.Fatalf("leased entry was evicted")
+	}
+	c.releaseResult(a) // drop the extra lease taken just above
+
+	if st := c.stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions despite cap pressure (bytes=%d cap=%d)", st.Bytes, st.CapBytes)
+	}
+	if _, ok := c.leaseResult(resultKey{fp: 2, spec: "MULTILEVEL", nparts: 2, procs: 1}); ok {
+		t.Fatalf("unleased older entry survived cap pressure that should have evicted it")
+	}
+
+	// Release a's original lease: the next cap overflow may now evict
+	// it like anything else.
+	c.releaseResult(a)
+	for fp := Fingerprint(30); fp < 40; fp++ {
+		e := c.putResult(mkResult(fp, 100))
+		c.releaseResult(e)
+	}
+	if _, ok := c.leaseResult(a.key); ok {
+		t.Fatalf("released entry survived cap pressure; lease leak?")
+	}
+}
+
+// TestCacheLRUOrder pins the eviction order: oldest unleased first,
+// recently-touched entries last.
+func TestCacheLRUOrder(t *testing.T) {
+	c := newCache(3000) // fits three 100-part results
+	for fp := Fingerprint(1); fp <= 3; fp++ {
+		c.releaseResult(c.putResult(mkResult(fp, 100)))
+	}
+	// Touch entry 1: it becomes most-recent; 2 is now oldest.
+	e, ok := c.leaseResult(resultKey{fp: 1, spec: "MULTILEVEL", nparts: 2, procs: 1})
+	if !ok {
+		t.Fatalf("entry 1 missing")
+	}
+	c.releaseResult(e)
+
+	c.releaseResult(c.putResult(mkResult(4, 100))) // forces one eviction
+	if _, ok := c.leaseResult(resultKey{fp: 2, spec: "MULTILEVEL", nparts: 2, procs: 1}); ok {
+		t.Fatalf("LRU kept the oldest unleased entry")
+	}
+	for _, fp := range []Fingerprint{1, 3, 4} {
+		e, ok := c.leaseResult(resultKey{fp: fp, spec: "MULTILEVEL", nparts: 2, procs: 1})
+		if !ok {
+			t.Fatalf("entry %d evicted out of LRU order", fp)
+		}
+		c.releaseResult(e)
+	}
+}
+
+// TestCacheGraphLease covers the graph side: leased graph entries
+// survive cap pressure, deltas keyed on them stay resolvable, and
+// identical uploads dedup onto one entry.
+func TestCacheGraphLease(t *testing.T) {
+	c := newCache(3000)
+	gc := &graphContent{n: 8, e1: make([]int, 100), e2: make([]int, 100)}
+	ge := c.putGraph(gc.fingerprint(), gc) // leased
+
+	dup := c.putGraph(gc.fingerprint(), &graphContent{n: 8, e1: make([]int, 100), e2: make([]int, 100)})
+	if dup != ge {
+		t.Fatalf("identical upload did not dedup onto the existing entry")
+	}
+	c.releaseGraph(dup)
+
+	for fp := Fingerprint(100); fp < 110; fp++ {
+		c.releaseResult(c.putResult(mkResult(fp, 100)))
+	}
+	if _, ok := c.leaseGraph(gc.fingerprint()); !ok {
+		t.Fatalf("leased graph entry was evicted")
+	}
+	c.releaseGraph(ge)
+
+	st := c.stats()
+	if st.Graphs != 1 {
+		t.Fatalf("Graphs = %d, want 1", st.Graphs)
+	}
+}
+
+// TestCacheUnbounded pins the no-cap mode: capBytes <= 0 never
+// evicts.
+func TestCacheUnbounded(t *testing.T) {
+	c := newCache(-1)
+	for fp := Fingerprint(1); fp <= 50; fp++ {
+		c.releaseResult(c.putResult(mkResult(fp, 1000)))
+	}
+	if st := c.stats(); st.Evictions != 0 || st.Results != 50 {
+		t.Fatalf("unbounded cache evicted: %+v", st)
+	}
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client speaks the chaosd wire protocol over one connection.
+// Requests on a single client are serialized (one frame in flight at
+// a time); open several clients for concurrency — the daemon batches
+// identical requests server-side, so extra connections are cheap.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	out  []byte
+
+	maxFrame int
+}
+
+// Dial connects a Client to a chaosd daemon at addr ("host:port" or,
+// with network "unix", a socket path).
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection. The Client owns conn and
+// closes it on Close.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 1<<16),
+		maxFrame: DefaultMaxFrame,
+	}
+}
+
+// Do sends one partition request and waits for its response. Errors
+// the daemon signals come back as typed wire errors — check with
+// errors.Is against ErrOverloaded (retryable), ErrUnknownGraph
+// (re-send the full graph), ErrBadRequest, or context.Canceled.
+// Cancelling ctx tears the connection down (the daemon notices the
+// disconnect and abandons the compute); the Client is unusable after
+// that and after any transport error.
+func (cl *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+
+	if ctx != nil && ctx.Done() != nil {
+		// Unblock the pending read on cancellation by closing the
+		// connection; the watcher is released on return.
+		watch := make(chan struct{})
+		defer close(watch)
+		go func() {
+			select {
+			case <-ctx.Done():
+				cl.conn.Close()
+			case <-watch:
+			}
+		}()
+	}
+
+	cl.out = appendFrame(cl.out[:0], msgPartition, encodeRequest(req))
+	if _, err := cl.conn.Write(cl.out); err != nil {
+		return nil, wrapCtx(ctx, fmt.Errorf("service: send request: %w", err))
+	}
+	t, payload, err := readFrame(cl.br, cl.maxFrame)
+	if err != nil {
+		return nil, wrapCtx(ctx, fmt.Errorf("service: read response: %w", err))
+	}
+	switch t {
+	case msgOK:
+		return decodeResponse(payload)
+	case msgError:
+		return nil, decodeError(payload)
+	default:
+		return nil, fmt.Errorf("service: unexpected frame type %d in response", t)
+	}
+}
+
+// wrapCtx prefers the context's cancellation cause over the transport
+// error it provoked (closing the connection to unblock I/O surfaces as
+// "use of closed network connection", which would mask the real cause).
+func wrapCtx(ctx context.Context, err error) error {
+	if ctx != nil && ctx.Err() != nil {
+		return fmt.Errorf("service: request cancelled: %w", ctx.Err())
+	}
+	return err
+}
+
+// Close tears the connection down.
+func (cl *Client) Close() error {
+	return cl.conn.Close()
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"chaos/internal/machine"
+)
+
+// Pinned content fingerprints of load-generator graph variants 0 and
+// 1 at the test shape. These are the cache's currency across
+// processes — any change to the FNV-1a stream layout breaks every
+// deployed client's delta requests, so a change here must be a
+// deliberate wire-version bump.
+const (
+	pinnedFP0 = Fingerprint(0xcddc38ed7772a97a)
+	pinnedFP1 = Fingerprint(0xae784ba8252badd2)
+)
+
+// TestPinnedFingerprints pins the content-hash function itself.
+func TestPinnedFingerprints(t *testing.T) {
+	for v, want := range map[int]Fingerprint{0: pinnedFP0, 1: pinnedFP1} {
+		e1, e2 := LoadGraph(v, testNNode, testDegree)
+		gc := &graphContent{n: testNNode, e1: e1, e2: e2}
+		if got := gc.fingerprint(); got != want {
+			t.Errorf("variant %d fingerprint = %s, pinned %s", v, got, want)
+		}
+	}
+}
+
+// TestCacheHitBitIdenticalAcrossBackends pins the determinism
+// contract the cache is built on: at a fixed seed, a cold compute of
+// the same key is bit-identical across fresh servers AND across
+// execution backends — so serving a Simulated-computed cache entry to
+// a Real-backend client is sound, and vice versa.
+func TestCacheHitBitIdenticalAcrossBackends(t *testing.T) {
+	type outcome struct {
+		part []int
+		cut  int
+		fp   Fingerprint
+	}
+	compute := func(backend machine.Backend) outcome {
+		s := New(Options{})
+		defer s.Close()
+		req := testRequest(0)
+		req.Backend = backend
+		resp, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("backend %v: %v", backend, err)
+		}
+		if resp.Served != ServedCold {
+			t.Fatalf("backend %v: served %v, want cold", backend, resp.Served)
+		}
+		return outcome{part: resp.Part, cut: resp.Cut, fp: resp.Fingerprint}
+	}
+
+	sim := compute(machine.Simulated)
+	simAgain := compute(machine.Simulated)
+	real := compute(machine.Real)
+
+	if !reflect.DeepEqual(sim, simAgain) {
+		t.Fatalf("two cold Simulated computes differ: cut %d vs %d", sim.cut, simAgain.cut)
+	}
+	if !reflect.DeepEqual(sim.part, real.part) || sim.cut != real.cut {
+		t.Fatalf("Simulated and Real backends disagree: cut %d vs %d", sim.cut, real.cut)
+	}
+	if sim.fp != real.fp {
+		t.Fatalf("fingerprints differ across backends: %s vs %s", sim.fp, real.fp)
+	}
+
+	// And the cross-backend cache hit: compute under Simulated, then
+	// request the same key under Real — the hit must be bit-identical
+	// to what a cold Real run would have produced (= sim.part, by the
+	// contract just verified).
+	s := New(Options{})
+	defer s.Close()
+	req := testRequest(0)
+	req.Backend = machine.Simulated
+	if _, err := s.Do(context.Background(), req); err != nil {
+		t.Fatalf("seed compute: %v", err)
+	}
+	realReq := testRequest(0)
+	realReq.Backend = machine.Real
+	hit, err := s.Do(context.Background(), realReq)
+	if err != nil {
+		t.Fatalf("cross-backend hit: %v", err)
+	}
+	if hit.Served != ServedHit || !reflect.DeepEqual(hit.Part, sim.part) {
+		t.Fatalf("cross-backend request served %v with identical part=%v, want hit + true",
+			hit.Served, reflect.DeepEqual(hit.Part, sim.part))
+	}
+}
+
+// TestWarmDeterminism pins the warm path the same way: a warm
+// repartition of a churned graph is bit-identical across independent
+// servers (each doing its own cold run first).
+func TestWarmDeterminism(t *testing.T) {
+	run := func(backend machine.Backend) []int {
+		s := New(Options{})
+		defer s.Close()
+		req := testRequest(0)
+		req.Backend = backend
+		cold, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("cold: %v", err)
+		}
+		warm, err := s.Do(context.Background(), &Request{
+			NNode: testNNode, NParts: testNParts, Procs: testProcs,
+			Spec: testSpec(), Backend: backend,
+			Base:  cold.Fingerprint,
+			Delta: []EdgeRewire{{Edge: testNNode + 2, NewEnd: 123}},
+		})
+		if err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		if warm.Served != ServedWarm {
+			t.Fatalf("served %v, want warm", warm.Served)
+		}
+		return warm.Part
+	}
+	a, b := run(machine.Simulated), run(machine.Simulated)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two warm computes of the same churned key differ")
+	}
+	if c := run(machine.Real); !reflect.DeepEqual(a, c) {
+		t.Fatalf("warm compute differs across backends")
+	}
+}

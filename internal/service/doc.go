@@ -1,0 +1,23 @@
+// Package service is chaosd's core: partitioning-as-a-service. It
+// wraps the Session/Repartitioner machinery behind a long-lived
+// Server answering a small length-prefixed wire protocol — a request
+// names a graph (full upload or fingerprint + churn delta) and a
+// partitioning spec; the response is the part vector with cut and
+// timing stats.
+//
+// The paper's economics motivate the shape: CHAOS amortizes
+// partitioning and schedule construction across the iterations of one
+// program. The service lifts that amortization across programs — a
+// content-addressed cache keyed by (graph fingerprint, canonical
+// spec, nparts, procs) holds finished partitions and, for MULTILEVEL,
+// the retained coarsening ladders, so one client's cold run
+// warm-starts every other client's churned follow-up. Admission
+// control (bounded worker pool over a bounded FIFO queue, typed
+// ErrOverloaded rejection) and singleflight batching of identical
+// in-flight requests keep the daemon well-behaved under load.
+//
+// Entry points: New/Serve/Close for the daemon, Dial/Client.Do for
+// the wire client, Server.Do for in-process use, and LoadGenConfig
+// for the benchmark harness. cmd/chaosd is the daemon binary;
+// cmd/chaosbench -service drives the load generator.
+package service

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"chaos/internal/machine"
+	"chaos/internal/partition"
+)
+
+// The load generator is the service-layer benchmark harness: it
+// drives a daemon with a fleet of concurrent clients issuing requests
+// over a small working set of graphs — the access pattern the cache
+// and singleflight layers exist for — and reports aggregate
+// partitions/sec plus the served-class mix. cmd/chaosbench renders
+// the result as parseable "servicebench:" lines; the service tests
+// reuse it directly for the concurrency speedup acceptance check.
+
+// LoadGenConfig configures one load-generation run.
+type LoadGenConfig struct {
+	// Dial opens one client connection per concurrent worker. Required.
+	Dial func() (*Client, error)
+	// Clients is the number of concurrent client connections.
+	Clients int
+	// Requests is the number of requests each client issues.
+	Requests int
+	// Graphs is the size of the working set: distinct graph variants
+	// the clients cycle through (default 4). The first request against
+	// each variant is a cold compute; the rest are cache currency.
+	Graphs int
+	// NNode and Degree shape each variant (ring + seeded chords).
+	NNode, Degree int
+	// NParts, Procs, Spec and Backend fill each request.
+	NParts, Procs int
+	Spec          partition.Spec
+	Backend       machine.Backend
+}
+
+// LoadGenResult is the aggregate outcome of a load-generation run.
+type LoadGenResult struct {
+	Clients  int
+	Requests int // total completed across all clients
+	Elapsed  time.Duration
+
+	PartsPerSec float64
+	// Served-class counts over all responses.
+	Hits, Cold, Warm, Shared int
+	// HitRatio is the fraction of responses that reused prior work
+	// (hit or shared) rather than running the partitioner.
+	HitRatio float64
+}
+
+// LoadGraph builds load-generator graph variant v deterministically:
+// a ring (guaranteed connectivity) plus seeded chords up to the
+// requested degree. Exposed so tests and the client CLI can construct
+// the exact graphs the generator sends.
+func LoadGraph(v, nnode, degree int) (e1, e2 []int) {
+	rng := rand.New(rand.NewSource(int64(0x10ad<<16 + v)))
+	e1 = make([]int, 0, nnode*degree/2)
+	e2 = make([]int, 0, cap(e1))
+	for i := 0; i < nnode; i++ {
+		e1 = append(e1, i)
+		e2 = append(e2, (i+1)%nnode)
+	}
+	for i := 0; len(e1) < nnode*degree/2; i++ {
+		a, b := rng.Intn(nnode), rng.Intn(nnode)
+		if a != b {
+			e1 = append(e1, a)
+			e2 = append(e2, b)
+		}
+	}
+	return e1, e2
+}
+
+// RunLoadGen drives cfg.Clients concurrent clients, each issuing
+// cfg.Requests requests round-robin over the graph working set, and
+// reports aggregate throughput. All clients start together (barrier)
+// so Elapsed measures steady concurrent load.
+func (cfg LoadGenConfig) RunLoadGen(ctx context.Context) (*LoadGenResult, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("service: loadgen: Dial is required")
+	}
+	if cfg.Clients < 1 || cfg.Requests < 1 {
+		return nil, fmt.Errorf("service: loadgen: need Clients >= 1 and Requests >= 1, have %d, %d", cfg.Clients, cfg.Requests)
+	}
+	graphs := cfg.Graphs
+	if graphs <= 0 {
+		graphs = 4
+	}
+
+	type variant struct{ e1, e2 []int }
+	vars := make([]variant, graphs)
+	for v := range vars {
+		vars[v].e1, vars[v].e2 = LoadGraph(v, cfg.NNode, cfg.Degree)
+	}
+
+	clients := make([]*Client, cfg.Clients)
+	for i := range clients {
+		cl, err := cfg.Dial()
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return nil, fmt.Errorf("service: loadgen: dial client %d: %w", i, err)
+		}
+		clients[i] = cl
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		mu    sync.Mutex
+		res   = &LoadGenResult{Clients: cfg.Clients}
+		first error
+	)
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			<-start
+			var done, hits, cold, warm, shared int
+			var err error
+			for r := 0; r < cfg.Requests; r++ {
+				v := &vars[(i+r)%graphs]
+				req := &Request{
+					NNode:   cfg.NNode,
+					NParts:  cfg.NParts,
+					Procs:   cfg.Procs,
+					Backend: cfg.Backend,
+					Spec:    cfg.Spec,
+					E1:      v.e1,
+					E2:      v.e2,
+				}
+				var resp *Response
+				resp, err = cl.Do(ctx, req)
+				if err != nil {
+					break
+				}
+				done++
+				switch resp.Served {
+				case ServedHit:
+					hits++
+				case ServedCold:
+					cold++
+				case ServedWarm:
+					warm++
+				case ServedShared:
+					shared++
+				}
+			}
+			mu.Lock()
+			res.Requests += done
+			res.Hits += hits
+			res.Cold += cold
+			res.Warm += warm
+			res.Shared += shared
+			if err != nil && first == nil {
+				first = fmt.Errorf("service: loadgen: client %d: %w", i, err)
+			}
+			mu.Unlock()
+		}(i, cl)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	res.Elapsed = time.Since(t0)
+	if first != nil {
+		return nil, first
+	}
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.PartsPerSec = float64(res.Requests) / s
+	}
+	if res.Requests > 0 {
+		res.HitRatio = float64(res.Hits+res.Shared) / float64(res.Requests)
+	}
+	return res, nil
+}
