@@ -16,7 +16,7 @@ COVER_FLOOR = 89.0
 # scheduling-noise headroom, exact for allocation-free kernels) or slows
 # past 1.5x its baseline ns/op. Refresh the baseline with `make
 # bench-baseline` after an intentional perf change and commit the diff.
-BENCH_GATE_CMD = $(GO) test -run '^$$' -bench '^BenchmarkHot' -benchmem -benchtime 10x ./internal/partition ./internal/geocol
+BENCH_GATE_CMD = $(GO) test -run '^$$' -bench '^BenchmarkHot' -benchmem -benchtime 10x ./internal/partition ./internal/geocol ./internal/stream
 
 check: build lint analyze test docs-check api-check
 
@@ -109,6 +109,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzAlltoAll$$' -fuzztime 30s ./internal/machine
 	$(GO) test -run '^$$' -fuzz '^FuzzGhostExchange$$' -fuzztime 30s ./internal/geocol
 	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime 30s ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamDecode$$' -fuzztime 30s ./internal/stream
 
 # bench-json emits the perf-trajectory document CI archives per push.
 bench-json:

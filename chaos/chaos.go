@@ -54,6 +54,17 @@
 // ParallelThreshold, FMPasses, VCycle, Seed, Imbalance) are
 // PartitionSpec fields. See docs/ARCHITECTURE.md for the trade-offs.
 //
+// MethodStream is the out-of-core member of the family: a streaming
+// partitioner (buffered LDG/Fennel with a clustering bootstrap and
+// restream polish, package internal/stream) whose resident state is
+// bounded by the slab granularity rather than the edge count, for
+// meshes too large to hold in memory. Its knobs (Objective,
+// StreamBuffer, Restreams, BalanceSlack) are PartitionSpec fields too,
+// and `meshgen -stream` writes meshes in its bounded-memory edge-
+// stream file format. A Repartitioner with FirstTouch set to
+// MethodStream seeds its first partition out-of-core and hands the
+// result to MULTILEVEL refinement for the warm path.
+//
 // Session.NewRepartitioner returns the stateful Repartitioner handle
 // for meshes that change over time: unchanged inputs are served from
 // cache (the paper's Section 3 reuse guard), and slightly changed

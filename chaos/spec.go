@@ -29,6 +29,19 @@ const (
 	MethodRSBKL      = partition.MethodRSBKL
 	MethodKL         = partition.MethodKL
 	MethodMultilevel = partition.MethodMultilevel
+	MethodStream     = partition.MethodStream
+)
+
+// StreamObjective names the greedy placement rule of the STREAM
+// out-of-core partitioner; set it through PartitionSpec.Objective
+// (together with StreamBuffer, Restreams and BalanceSlack, which apply
+// to MethodStream only).
+type StreamObjective = partition.StreamObjective
+
+// STREAM placement objectives.
+const (
+	ObjectiveLDG    = partition.ObjectiveLDG
+	ObjectiveFennel = partition.ObjectiveFennel
 )
 
 // ParseSpec parses the Fortran-D-style string form of a spec: a bare

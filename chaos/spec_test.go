@@ -31,7 +31,7 @@ func TestStringShimBitIdenticalToTypedPath(t *testing.T) {
 			Geometry: []*chaos.Array{xc, yc, zc},
 		})
 
-		for _, name := range []string{"BLOCK", "RANDOM", "RCB", "INERTIAL", "RSB", "RSB-KL", "KL", "MULTILEVEL"} {
+		for _, name := range []string{"BLOCK", "RANDOM", "RCB", "INERTIAL", "RSB", "RSB-KL", "KL", "MULTILEVEL", "STREAM"} {
 			byName, err := s.SetByPartitioning(g, name, procs)
 			if err != nil {
 				t.Errorf("%s string path: %v", name, err)
@@ -87,6 +87,15 @@ func TestSetPartitioningValidatesEarly(t *testing.T) {
 		if _, err := s.NewRepartitioner(chaos.PartitionSpec{Method: chaos.MethodRSB, VCycle: true}); err == nil ||
 			!strings.Contains(err.Error(), "tuning") {
 			t.Errorf("tuned RSB spec: %v, want tuning-options error", err)
+		}
+		if _, err := s.SetPartitioning(g, chaos.PartitionSpec{
+			Method: chaos.MethodMultilevel, Objective: chaos.ObjectiveFennel}, 2); err == nil ||
+			!strings.Contains(err.Error(), "STREAM") {
+			t.Errorf("streaming knobs on MULTILEVEL: %v, want STREAM-only error", err)
+		}
+		if _, err := s.SetPartitioning(g, chaos.PartitionSpec{
+			Method: chaos.MethodStream, Objective: chaos.ObjectiveLDG, Restreams: 1}, 2); err != nil {
+			t.Errorf("typed STREAM spec: %v", err)
 		}
 	})
 	if err != nil {

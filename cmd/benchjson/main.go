@@ -28,6 +28,14 @@
 // "service_speedup" — the daemon's cache-and-batching dividend,
 // archived next to the real-cores and virtual trajectories.
 //
+// -stream <file> likewise ingests the "streambench:" lines printed by
+// `chaosbench -stream` (one per (mesh size, method) cell, key=value
+// format): each becomes an entry of the document's "stream" array, and
+// the largest mesh's STREAM/MULTILEVEL cut ratio and
+// MULTILEVEL/STREAM allocation ratio are stamped as
+// "stream_cut_ratio" and "stream_mem_ratio" — the out-of-core
+// engine's quality price and memory dividend, archived together.
+//
 // -gate <baseline.json> turns benchjson into the CI regression rail:
 // the parsed stdin is compared against the baseline document (itself
 // written by an earlier benchjson run, see `make bench-baseline`) and
@@ -87,6 +95,19 @@ type ServiceRun struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
+// StreamRun is one "streambench:" line from `chaosbench -stream`: one
+// partitioner (STREAM or the in-memory MULTILEVEL baseline) on one
+// mesh size, with the edge cut and the bytes the run allocated.
+type StreamRun struct {
+	Workload string  `json:"workload"`
+	N        int     `json:"n"`
+	Method   string  `json:"method"`
+	Parts    int     `json:"parts"`
+	Cut      int     `json:"cut"`
+	Bytes    uint64  `json:"bytes"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
 // Doc is the archived JSON document.
 type Doc struct {
 	SHA        string      `json:"sha,omitempty"`
@@ -105,6 +126,13 @@ type Doc struct {
 	// Absent when -service was not given.
 	Service        []ServiceRun `json:"service,omitempty"`
 	ServiceSpeedup float64      `json:"service_speedup,omitempty"`
+	// Stream holds the out-of-core study cells; StreamCutRatio is the
+	// largest mesh's STREAM cut over its MULTILEVEL cut (quality price)
+	// and StreamMemRatio the same mesh's MULTILEVEL bytes over its
+	// STREAM bytes (memory dividend). Absent when -stream was not given.
+	Stream         []StreamRun `json:"stream,omitempty"`
+	StreamCutRatio float64     `json:"stream_cut_ratio,omitempty"`
+	StreamMemRatio float64     `json:"stream_mem_ratio,omitempty"`
 }
 
 // parse reads `go test -bench` output and collects the benchmark lines.
@@ -272,6 +300,72 @@ func parseService(r io.Reader) ([]ServiceRun, float64, error) {
 	return runs, speedup, sc.Err()
 }
 
+// parseStream reads `chaosbench -stream` output and collects the
+// per-(size, method) "streambench:" cells. The ratios come from the
+// largest mesh that carries both methods: STREAM cut over MULTILEVEL
+// cut, and MULTILEVEL bytes over STREAM bytes; both zero when no mesh
+// has the full pair.
+func parseStream(r io.Reader) ([]StreamRun, float64, float64, error) {
+	var runs []StreamRun
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "streambench: ") {
+			continue
+		}
+		sr := StreamRun{}
+		for _, kv := range strings.Fields(strings.TrimPrefix(line, "streambench: ")) {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return nil, 0, 0, fmt.Errorf("benchjson: bad streambench field %q in %q", kv, line)
+			}
+			key, val := kv[:eq], kv[eq+1:]
+			var err error
+			switch key {
+			case "workload":
+				sr.Workload = val
+			case "n":
+				sr.N, err = strconv.Atoi(val)
+			case "method":
+				sr.Method = val
+			case "parts":
+				sr.Parts, err = strconv.Atoi(val)
+			case "cut":
+				sr.Cut, err = strconv.Atoi(val)
+			case "bytes":
+				sr.Bytes, err = strconv.ParseUint(val, 10, 64)
+			case "ms":
+				sr.WallMS, err = strconv.ParseFloat(val, 64)
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("benchjson: bad streambench field %q in %q", kv, line)
+			}
+		}
+		if sr.N <= 0 || sr.Method == "" || sr.Bytes == 0 {
+			return nil, 0, 0, fmt.Errorf("benchjson: streambench line missing n, method, or bytes: %q", line)
+		}
+		runs = append(runs, sr)
+	}
+	cutRatio, memRatio := 0.0, 0.0
+	best := 0
+	for _, a := range runs {
+		if a.Method != "STREAM" || a.N < best {
+			continue
+		}
+		for _, b := range runs {
+			if b.Method == "MULTILEVEL" && b.N == a.N && b.Cut > 0 && a.Bytes > 0 {
+				best = a.N
+				cutRatio = float64(a.Cut) / float64(b.Cut)
+				memRatio = float64(b.Bytes) / float64(a.Bytes)
+			}
+		}
+	}
+	return runs, cutRatio, memRatio, sc.Err()
+}
+
 // gateKey identifies a benchmark across machines: package plus name
 // with the trailing -GOMAXPROCS suffix stripped (the suffix tracks the
 // host's core count, not the benchmark).
@@ -331,6 +425,7 @@ func main() {
 	out := flag.String("o", "-", "output file (\"-\" = stdout)")
 	real := flag.String("real", "", "file holding `chaosbench -backend=real` output to merge into the document")
 	svc := flag.String("service", "", "file holding `chaosbench -service` output to merge into the document")
+	strm := flag.String("stream", "", "file holding `chaosbench -stream` output to merge into the document")
 	gate := flag.String("gate", "", "baseline JSON to gate against; exit non-zero on regression")
 	allocTol := flag.Float64("alloc-tol", 0.05, "allocs/op headroom over baseline (scheduling noise; zero baselines stay exact)")
 	nsTol := flag.Float64("ns-tol", 1.5, "ns/op failure threshold as a multiple of baseline")
@@ -368,7 +463,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if len(doc.Benchmarks) == 0 && len(doc.Real) == 0 && len(doc.Service) == 0 {
+	if *strm != "" {
+		f, err := os.Open(*strm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Stream, doc.StreamCutRatio, doc.StreamMemRatio, err = parseStream(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(doc.Benchmarks) == 0 && len(doc.Real) == 0 && len(doc.Service) == 0 && len(doc.Stream) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}

@@ -177,3 +177,76 @@ func TestParseServiceEmpty(t *testing.T) {
 		t.Errorf("got runs=%v speedup=%v err=%v; want empty", runs, speedup, err)
 	}
 }
+
+func TestParseStream(t *testing.T) {
+	in := `streambench: workload=mesh n=4096 method=MULTILEVEL parts=8 cut=2383 bytes=20897400 ms=27.7
+streambench: workload=mesh n=4096 method=STREAM parts=8 cut=3219 bytes=6945672 ms=17.1
+streambench: workload=mesh n=21952 method=MULTILEVEL parts=8 cut=8401 bytes=117414232 ms=210.0
+streambench: workload=mesh n=21952 method=STREAM parts=8 cut=10490 bytes=8443440 ms=35.1
+some human-facing trailer
+`
+	runs, cutRatio, memRatio, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(runs))
+	}
+	want0 := StreamRun{Workload: "mesh", N: 4096, Method: "MULTILEVEL",
+		Parts: 8, Cut: 2383, Bytes: 20897400, WallMS: 27.7}
+	if runs[0] != want0 {
+		t.Errorf("runs[0] = %+v, want %+v", runs[0], want0)
+	}
+	// Ratios come from the largest mesh carrying both methods.
+	if want := 10490.0 / 8401.0; cutRatio != want {
+		t.Errorf("cutRatio = %v, want %v", cutRatio, want)
+	}
+	if want := 117414232.0 / 8443440.0; memRatio != want {
+		t.Errorf("memRatio = %v, want %v", memRatio, want)
+	}
+}
+
+func TestParseStreamUnpairedCell(t *testing.T) {
+	// A STREAM cell with no same-size MULTILEVEL partner yields no
+	// ratios, and does not steal them from a smaller paired mesh.
+	in := `streambench: workload=mesh n=1728 method=MULTILEVEL parts=8 cut=1292 bytes=7998072 ms=45.6
+streambench: workload=mesh n=1728 method=STREAM parts=8 cut=1768 bytes=2314480 ms=6.8
+streambench: workload=mesh n=9261 method=STREAM parts=8 cut=5000 bytes=7000000 ms=20.0
+`
+	runs, cutRatio, memRatio, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	if want := 1768.0 / 1292.0; cutRatio != want {
+		t.Errorf("cutRatio = %v, want %v (the largest PAIRED mesh)", cutRatio, want)
+	}
+	if want := 7998072.0 / 2314480.0; memRatio != want {
+		t.Errorf("memRatio = %v, want %v", memRatio, want)
+	}
+}
+
+func TestParseStreamBadLines(t *testing.T) {
+	for _, in := range []string{
+		"streambench: n=oops method=STREAM bytes=1\n",      // bad int
+		"streambench: n=10 method=STREAM\n",                // missing bytes
+		"streambench: nonsense\n",                          // no key=value
+		"streambench: bogus=1 n=10 method=S bytes=1\n",     // unknown key
+		"streambench: n=10 bytes=5\n",                      // missing method
+		"streambench: n=10 method=STREAM bytes=notanum\n",  // bad uint
+		"streambench: n=10 method=STREAM bytes=1 ms=zzz\n", // bad float
+	} {
+		if _, _, _, err := parseStream(strings.NewReader(in)); err == nil {
+			t.Errorf("want error for %q", in)
+		}
+	}
+}
+
+func TestParseStreamEmpty(t *testing.T) {
+	runs, cutRatio, memRatio, err := parseStream(strings.NewReader("no stream lines\n"))
+	if err != nil || len(runs) != 0 || cutRatio != 0 || memRatio != 0 {
+		t.Errorf("got runs=%v cut=%v mem=%v err=%v; want empty", runs, cutRatio, memRatio, err)
+	}
+}

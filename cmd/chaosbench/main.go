@@ -37,6 +37,14 @@
 // run charged, plus a closing speedup summary. cmd/benchjson -real
 // ingests these lines into BENCH_<sha>.json.
 //
+// -stream switches to the out-of-core streaming study: on each mesh
+// size the STREAM engine (buffered bootstrap + restreams, fed slab by
+// slab from the lattice source, adjacency never materialized) is run
+// against the in-memory MULTILEVEL baseline at P=1, printing one
+// parseable "streambench:" line per (size, method) with the edge cut,
+// bytes allocated and host milliseconds. cmd/benchjson -stream ingests
+// the lines into BENCH_<sha>.json as cut/memory ratios.
+//
 // -service switches to the partitioning-service load study: a serial
 // client and then -clients concurrent clients drive a chaosd server
 // (an in-process one on a loopback listener, or the daemon at
@@ -59,10 +67,13 @@ import (
 	"time"
 
 	"chaos/internal/experiments"
+	"chaos/internal/geocol"
 	"chaos/internal/machine"
+	"chaos/internal/mesh"
 	"chaos/internal/partition"
 	"chaos/internal/report"
 	"chaos/internal/service"
+	"chaos/internal/stream"
 )
 
 // runRealStudy executes the real-cores speedup study: the RCB
@@ -94,6 +105,70 @@ func runRealStudy(quick bool, iters int) {
 		first.WallMS/last.WallMS, first.VirtualS/last.VirtualS)
 	fmt.Printf("[real backend on %d host cores (GOMAXPROCS); real speedup is meaningful on 4+ cores]\n",
 		runtime.GOMAXPROCS(0))
+}
+
+// allocDelta runs fn and returns the bytes it allocated (cumulative,
+// so short-lived scratch counts — the honest number for an
+// out-of-core-vs-in-memory comparison) plus its wall time.
+func allocDelta(fn func()) (uint64, time.Duration) {
+	var s0, s1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&s0)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&s1)
+	return s1.TotalAlloc - s0.TotalAlloc, elapsed
+}
+
+// runStreamStudy compares the STREAM out-of-core engine against the
+// in-memory MULTILEVEL baseline across mesh sizes: same mesh, same
+// part count, cut quality vs bytes allocated. The streaming side reads
+// the lattice source slab by slab — its adjacency never materializes.
+func runStreamStudy(quick bool) {
+	sizes := []int{4096, 9261, 21952}
+	if quick {
+		sizes = []int{1728, 4096}
+	}
+	const nparts = 8
+	const seed = 1993
+	for _, n := range sizes {
+		m := mesh.Generate(n, seed)
+
+		var mlCut float64
+		mlBytes, mlT := allocDelta(func() {
+			cfg := machine.IPSC860(1)
+			cfg.Seed = 42
+			err := machine.Run(cfg, func(c *machine.Ctx) {
+				g := geocol.Build(c, m.NNode, geocol.WithLink(m.E1, m.E2))
+				part := partition.Multilevel{Seed: seed}.Partition(c, g, nparts)
+				mlCut = partition.Cut(c, g, part)
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaosbench: stream study: %v\n", err)
+				os.Exit(1)
+			}
+		})
+		fmt.Printf("streambench: workload=mesh n=%d method=MULTILEVEL parts=%d cut=%d bytes=%d ms=%.1f\n",
+			m.NNode, nparts, int(mlCut), mlBytes, float64(mlT.Nanoseconds())/1e6)
+
+		side := mesh.SideFor(n)
+		src := mesh.NewLatticeSource(side, side, side, seed)
+		gs := stream.FromSource(src, stream.DefaultSlabVerts)
+		var cut int
+		stBytes, stT := allocDelta(func() {
+			part, err := stream.Partition(gs, nparts, stream.Options{Restreams: 2, Seed: seed})
+			if err == nil {
+				cut, err = stream.Cut(gs, part)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaosbench: stream study: %v\n", err)
+				os.Exit(1)
+			}
+		})
+		fmt.Printf("streambench: workload=mesh n=%d method=STREAM parts=%d cut=%d bytes=%d ms=%.1f\n",
+			m.NNode, nparts, cut, stBytes, float64(stT.Nanoseconds())/1e6)
+	}
 }
 
 // serviceLine renders one load-generation phase as the parseable
@@ -188,6 +263,7 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "adaptive-mesh cold/warm repartition amortization study, emitted as JSON")
 		backend   = flag.String("backend", "sim", "execution backend: sim (virtual-clock tables) or real (real-cores speedup study)")
 
+		strm       = flag.Bool("stream", false, "out-of-core streaming-vs-multilevel study instead of tables")
 		svc        = flag.Bool("service", false, "partitioning-service load study instead of tables")
 		connect    = flag.String("connect", "", "chaosd address for -service (empty = spawn an in-process daemon)")
 		clients    = flag.Int("clients", 16, "concurrent clients for the -service study")
@@ -196,6 +272,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *strm {
+		runStreamStudy(*quick)
+		return
+	}
 	if *svc {
 		runServiceStudy(*connect, *quick, *clients, *requests, *minSpeedup)
 		return

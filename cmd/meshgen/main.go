@@ -6,8 +6,13 @@
 //
 //	meshgen -kind mesh -n 10000 [-seed S] [-o mesh.json]
 //	meshgen -kind water -mol 216 [-cutoff 4.5] [-seed S] [-o water.json]
+//	meshgen -kind mesh -n 10000 -stream [-slab 4096] -o mesh.cs
 //
 // With no -o the workload summary is printed instead of the full JSON.
+// With -stream the mesh is emitted as a binary edge-stream file
+// (internal/stream's "cs" format) written slab by slab straight from
+// the lattice source — the full adjacency is never materialized, so
+// arbitrarily large meshes stream to disk in bounded memory.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"chaos/internal/md"
 	"chaos/internal/mesh"
+	"chaos/internal/stream"
 )
 
 type meshOut struct {
@@ -44,14 +50,46 @@ type waterOut struct {
 
 func main() {
 	var (
-		kind   = flag.String("kind", "mesh", "workload kind: mesh or water")
-		n      = flag.Int("n", 10000, "mesh node target")
-		mol    = flag.Int("mol", 216, "water molecule count")
-		cutoff = flag.Float64("cutoff", 4.5, "pair-list cutoff (Angstrom)")
-		seed   = flag.Uint64("seed", 1993, "generator seed")
-		out    = flag.String("o", "", "output JSON path (default: summary only)")
+		kind    = flag.String("kind", "mesh", "workload kind: mesh or water")
+		n       = flag.Int("n", 10000, "mesh node target")
+		mol     = flag.Int("mol", 216, "water molecule count")
+		cutoff  = flag.Float64("cutoff", 4.5, "pair-list cutoff (Angstrom)")
+		seed    = flag.Uint64("seed", 1993, "generator seed")
+		out     = flag.String("o", "", "output path (default: summary only)")
+		asStrm  = flag.Bool("stream", false, "emit a binary edge-stream (.cs) file instead of JSON (mesh only; requires -o)")
+		slabLen = flag.Int("slab", stream.DefaultSlabVerts, "edge-stream slab granularity in vertices")
 	)
 	flag.Parse()
+
+	if *asStrm {
+		if *kind != "mesh" {
+			fmt.Fprintln(os.Stderr, "meshgen: -stream supports -kind mesh only")
+			os.Exit(2)
+		}
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "meshgen: -stream requires -o")
+			os.Exit(2)
+		}
+		side := mesh.SideFor(*n)
+		src := mesh.NewLatticeSource(side, side, side, *seed)
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+			os.Exit(1)
+		}
+		gs := stream.FromSource(src, *slabLen)
+		slabs, err := stream.Copy(f, gs)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mesh: %d nodes, %d edges\n", src.NumVertices(), src.NumEdges())
+		fmt.Printf("wrote %s (%d slabs of %d vertices)\n", *out, slabs, *slabLen)
+		return
+	}
 
 	var payload any
 	var summary string

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"chaos/internal/machine"
+	"chaos/internal/mesh"
 	"chaos/internal/partition"
+	"chaos/internal/xrand"
 )
 
 // ringInput fills e1/e2 with an n-vertex ring (edge i: i — i+1 mod n)
@@ -19,11 +22,37 @@ func ringInput(s *Session, n int) (GeoColInput, *IntArray, *IntArray) {
 	return GeoColInput{Link1: e1, Link2: e2}, e1, e2
 }
 
+// meshInput loads a generated mesh's edge list into session arrays and
+// returns a refill closure that rewires a deterministic fraction of
+// the edge endpoints — the adaptation-churn model of the drift tests.
+// frac=0 restores the pristine mesh; larger fractions scatter more
+// endpoints uniformly, degrading any partition built for the original.
+func meshInput(s *Session, m *mesh.Mesh) (GeoColInput, func(frac float64)) {
+	ne := m.NEdge()
+	e1 := s.NewIntArray("me1", ne)
+	e2 := s.NewIntArray("me2", ne)
+	fill := func(frac float64) {
+		e1.FillByGlobal(func(g int) int { return m.E1[g] })
+		e2.FillByGlobal(func(g int) int {
+			if frac > 0 && float64(xrand.Hash64(uint64(g))%10000) < frac*10000 {
+				t := int(xrand.Hash64(uint64(g)^0x9e3779b97f4a7c15) % uint64(m.NNode))
+				if t == m.E1[g] {
+					t = (t + 1) % m.NNode
+				}
+				return t
+			}
+			return m.E2[g]
+		})
+	}
+	fill(0)
+	return GeoColInput{Link1: e1, Link2: e2}, fill
+}
+
 // TestRepartitionerModes pins the hit/warm/cold dispatch of the
-// Repartitioner handle: unchanged inputs hit the cache, changed
-// inputs warm-start off the retained ladder, MaxWarm forces a cold
-// ladder rebuild, Invalidate drops everything, and a part-count
-// change can never be served warm.
+// Repartitioner handle: unchanged inputs hit the cache, changed inputs
+// warm-start off the retained ladder indefinitely while quality holds,
+// Invalidate drops everything, and a part-count change can never be
+// served warm.
 func TestRepartitionerModes(t *testing.T) {
 	const n, procs = 512, 4
 	// CoarsenTo/ParallelThreshold are lowered so the distributed
@@ -38,7 +67,6 @@ func TestRepartitionerModes(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		rp.MaxWarm = 2
 
 		m1, err := rp.Map(n, in, procs)
 		if err != nil {
@@ -60,24 +88,17 @@ func TestRepartitionerModes(t *testing.T) {
 			t.Errorf("stats %+v, want 1 hit", st)
 		}
 
-		// Touched inputs: warm ladder reuse, twice (the MaxWarm cap).
-		for i := 0; i < 2; i++ {
+		// Touched inputs with identical content: the warm path serves
+		// every epoch — no counter caps it, and an unchanged cut can
+		// never trip the drift guard.
+		for i := 0; i < 3; i++ {
 			e1.FillByGlobal(func(g int) int { return g })
 			if _, err := rp.Map(n, in, procs); err != nil {
 				panic(err)
 			}
 		}
-		if st := rp.Stats(); st.Warm != 2 || st.Cold != 1 {
-			t.Errorf("stats %+v, want 2 warm / 1 cold", st)
-		}
-
-		// Third change: MaxWarm=2 reached, so the ladder is rebuilt.
-		e1.FillByGlobal(func(g int) int { return g })
-		if _, err := rp.Map(n, in, procs); err != nil {
-			panic(err)
-		}
-		if st := rp.Stats(); st.Cold != 2 {
-			t.Errorf("stats %+v, want cold rebuild after MaxWarm", st)
+		if st := rp.Stats(); st.Warm != 3 || st.Cold != 1 || st.Recold != 0 {
+			t.Errorf("stats %+v, want 3 warm / 1 cold / 0 recold", st)
 		}
 
 		// A different part count is never served from cache or ladder.
@@ -88,7 +109,7 @@ func TestRepartitionerModes(t *testing.T) {
 		if m3 == m1 {
 			t.Error("nparts change returned the cached mapping")
 		}
-		if st := rp.Stats(); st.Cold != 3 {
+		if st := rp.Stats(); st.Cold != 2 {
 			t.Errorf("stats %+v, want cold on nparts change", st)
 		}
 
@@ -97,7 +118,7 @@ func TestRepartitionerModes(t *testing.T) {
 		if _, err := rp.Map(n, in, procs/2); err != nil {
 			panic(err)
 		}
-		if st := rp.Stats(); st.Cold != 4 {
+		if st := rp.Stats(); st.Cold != 3 {
 			t.Errorf("stats %+v, want cold after Invalidate", st)
 		}
 
@@ -110,7 +131,7 @@ func TestRepartitionerModes(t *testing.T) {
 		if mBig.Size() != 2*n {
 			t.Errorf("mapping size %d after n change, want %d", mBig.Size(), 2*n)
 		}
-		if st := rp.Stats(); st.Cold != 5 {
+		if st := rp.Stats(); st.Cold != 4 {
 			t.Errorf("stats %+v, want cold on vertex-count change", st)
 		}
 
@@ -123,6 +144,157 @@ func TestRepartitionerModes(t *testing.T) {
 			if p < 0 || p >= procs {
 				t.Errorf("part %d out of range", p)
 			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepartitionerDriftRecold pins the quality-guarded warm path at
+// escalating churn: gentle adaptation keeps warming, heavy rewiring
+// pushes the warm cut past DriftTol and forces a cold rebuild in the
+// same Map call, and a disabled guard (DriftTol < 0) accepts any warm
+// result.
+func TestRepartitionerDriftRecold(t *testing.T) {
+	const procs = 4
+	m := mesh.Generate(2048, 11)
+	spec := partition.Spec{Method: partition.MethodMultilevel, CoarsenTo: 16,
+		ParallelThreshold: 64, Seed: 3}
+	err := machine.Run(machine.IPSC860(procs), func(c *machine.Ctx) {
+		s := NewSession(c)
+		in, fill := meshInput(s, m)
+
+		rp, err := s.NewRepartitioner(spec)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := rp.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Cold != 1 {
+			t.Fatalf("stats %+v, want 1 cold", st)
+		}
+
+		// Gentle churn (0.5% of endpoints rewired): warm survives.
+		fill(0.005)
+		if _, err := rp.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Warm != 1 || st.Recold != 0 {
+			t.Errorf("after gentle churn: stats %+v, want 1 warm / 0 recold", st)
+		}
+
+		// Heavy churn (half the endpoints rewired): the warm cut
+		// degrades far past DriftTol and the ladder is rebuilt.
+		fill(0.5)
+		if _, err := rp.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Recold != 1 || st.Cold != 2 {
+			t.Errorf("after heavy churn: stats %+v, want 1 recold / 2 cold", st)
+		}
+
+		// Same heavy mesh re-touched: the rebuilt ladder matches it, so
+		// the next epoch warms again.
+		fill(0.5)
+		if _, err := rp.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Warm != 2 || st.Recold != 1 {
+			t.Errorf("after re-touch: stats %+v, want 2 warm / 1 recold", st)
+		}
+
+		// DriftTol < 0 disables the guard: the same heavy swing is
+		// served warm without a rebuild.
+		loose, err := s.NewRepartitioner(spec)
+		if err != nil {
+			panic(err)
+		}
+		loose.DriftTol = -1
+		fill(0)
+		if _, err := loose.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		fill(0.5)
+		if _, err := loose.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		if st := loose.Stats(); st.Warm != 1 || st.Recold != 0 || st.Cold != 1 {
+			t.Errorf("disabled guard: stats %+v, want 1 warm / 0 recold / 1 cold", st)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepartitionerStreamFirstTouch pins the STREAM -> MULTILEVEL
+// bridge: the first build streams (no ladder cost), the first changed
+// epoch refines that seed through RefineLadder into a retained ladder,
+// and later epochs warm off it like any cold-built ladder.
+func TestRepartitionerStreamFirstTouch(t *testing.T) {
+	const procs = 4
+	m := mesh.Generate(2048, 11)
+	spec := partition.Spec{Method: partition.MethodMultilevel, CoarsenTo: 16,
+		ParallelThreshold: 64, Seed: 3}
+	err := machine.Run(machine.IPSC860(procs), func(c *machine.Ctx) {
+		s := NewSession(c)
+		in, fill := meshInput(s, m)
+
+		rp, err := s.NewRepartitioner(spec)
+		if err != nil {
+			panic(err)
+		}
+		rp.FirstTouch = partition.MethodStream
+
+		m1, err := rp.Map(m.NNode, in, procs)
+		if err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st != (RepartitionerStats{Stream: 1}) {
+			t.Errorf("first touch: stats %+v, want 1 stream", st)
+		}
+		for _, p := range m1.LocalPart() {
+			if p < 0 || p >= procs {
+				t.Errorf("stream first touch produced part %d out of range", p)
+			}
+		}
+
+		fill(0.005)
+		if _, err := rp.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Seeded != 1 || st.Cold != 0 {
+			t.Errorf("seed refine: stats %+v, want 1 seeded / 0 cold", st)
+		}
+
+		fill(0.005)
+		if _, err := rp.Map(m.NNode, in, procs); err != nil {
+			panic(err)
+		}
+		if st := rp.Stats(); st.Warm != 1 {
+			t.Errorf("post-seed epoch: stats %+v, want 1 warm", st)
+		}
+
+		// FirstTouch is only meaningful for MULTILEVEL specs.
+		bad, err := s.NewRepartitioner(partition.Spec{Method: partition.MethodRSB})
+		if err != nil {
+			panic(err)
+		}
+		bad.FirstTouch = partition.MethodStream
+		if _, err := bad.Map(m.NNode, in, procs); err == nil ||
+			!strings.Contains(err.Error(), "MULTILEVEL") {
+			t.Errorf("FirstTouch on RSB: err %v, want MULTILEVEL requirement", err)
+		}
+		worse, err := s.NewRepartitioner(spec)
+		if err != nil {
+			panic(err)
+		}
+		worse.FirstTouch = partition.MethodRCB
+		if _, err := worse.Map(m.NNode, in, procs); err == nil ||
+			!strings.Contains(err.Error(), "not supported") {
+			t.Errorf("FirstTouch=RCB: err %v, want not-supported error", err)
 		}
 	})
 	if err != nil {

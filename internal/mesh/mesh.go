@@ -12,7 +12,6 @@
 package mesh
 
 import (
-	"fmt"
 	"math"
 
 	"chaos/internal/xrand"
@@ -46,13 +45,7 @@ func (m *Mesh) AvgDegree() float64 {
 // slightly). The same (nTarget, seed) pair always produces the same
 // mesh.
 func Generate(nTarget int, seed uint64) *Mesh {
-	if nTarget < 8 {
-		panic(fmt.Sprintf("mesh: target %d too small", nTarget))
-	}
-	side := int(math.Round(math.Cbrt(float64(nTarget))))
-	if side < 2 {
-		side = 2
-	}
+	side := SideFor(nTarget)
 	return GenerateLattice(side, side, side, seed)
 }
 

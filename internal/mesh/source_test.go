@@ -1,0 +1,97 @@
+package mesh
+
+import (
+	"sort"
+	"testing"
+)
+
+// csrOf materializes a sorted CSR from a mesh's edge list.
+func csrOf(m *Mesh) (xadj, adj []int) {
+	deg := make([]int, m.NNode)
+	for i := range m.E1 {
+		deg[m.E1[i]]++
+		deg[m.E2[i]]++
+	}
+	xadj = make([]int, m.NNode+1)
+	for v := 0; v < m.NNode; v++ {
+		xadj[v+1] = xadj[v] + deg[v]
+	}
+	adj = make([]int, xadj[m.NNode])
+	fill := make([]int, m.NNode)
+	copy(fill, xadj[:m.NNode])
+	for i := range m.E1 {
+		a, b := m.E1[i], m.E2[i]
+		adj[fill[a]] = b
+		fill[a]++
+		adj[fill[b]] = a
+		fill[b]++
+	}
+	for v := 0; v < m.NNode; v++ {
+		sort.Ints(adj[xadj[v]:xadj[v+1]])
+	}
+	return xadj, adj
+}
+
+// TestLatticeSourceMatchesGenerate pins that the streaming source
+// reproduces GenerateLattice's connectivity edge for edge, in sorted
+// order, for a non-cubic lattice.
+func TestLatticeSourceMatchesGenerate(t *testing.T) {
+	const gx, gy, gz, seed = 7, 6, 5, 42
+	m := GenerateLattice(gx, gy, gz, seed)
+	ls := NewLatticeSource(gx, gy, gz, seed)
+
+	if ls.NumVertices() != m.NNode {
+		t.Fatalf("NumVertices = %d, want %d", ls.NumVertices(), m.NNode)
+	}
+	if ls.NumEdges() != m.NEdge() {
+		t.Fatalf("NumEdges = %d, want %d", ls.NumEdges(), m.NEdge())
+	}
+
+	xadj, adj := csrOf(m)
+	var buf []int
+	for v := 0; v < m.NNode; v++ {
+		buf = ls.AppendNeighbors(v, buf[:0])
+		want := adj[xadj[v]:xadj[v+1]]
+		if len(buf) != len(want) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", v, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("vertex %d neighbor %d: got %d, want %d (%v vs %v)", v, i, buf[i], want[i], buf, want)
+			}
+		}
+	}
+}
+
+// TestAppendNeighborsSorted pins the strictly-increasing contract on a
+// cube with a different seed.
+func TestAppendNeighborsSorted(t *testing.T) {
+	ls := NewLatticeSource(9, 9, 9, 7)
+	var buf []int
+	for v := 0; v < ls.NumVertices(); v++ {
+		buf = ls.AppendNeighbors(v, buf[:0])
+		for i := 1; i < len(buf); i++ {
+			if buf[i] <= buf[i-1] {
+				t.Fatalf("vertex %d neighbors not strictly increasing: %v", v, buf)
+			}
+		}
+		if len(buf) < 3 || len(buf) > 12 {
+			t.Fatalf("vertex %d has %d neighbors, want 3..12", v, len(buf))
+		}
+	}
+}
+
+// TestSideFor pins the Generate rounding rule.
+func TestSideFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{8, 2}, {27, 3}, {1000, 10}, {9261, 21}, {21952, 28}, {10000, 22},
+	}
+	for _, c := range cases {
+		if got := SideFor(c.n); got != c.want {
+			t.Errorf("SideFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	if n := Generate(21952, 1).NNode; n != 21952 {
+		t.Errorf("Generate(21952).NNode = %d, want 21952", n)
+	}
+}

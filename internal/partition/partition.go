@@ -33,6 +33,11 @@ type Capabilities struct {
 	// Tunable: accepts the multilevel tuning knobs of Spec (CoarsenTo,
 	// ParallelThreshold, FMPasses, VCycle, Imbalance).
 	Tunable bool
+	// OutOfCore: the partitioner's own working state is bounded
+	// independently of the edge count (streaming contract) — it can
+	// serve graphs whose edge set never fits in memory when fed
+	// through internal/stream's file path.
+	OutOfCore bool
 }
 
 // PartitionerV2 is the v2 registry interface: a Partitioner that also
@@ -106,6 +111,7 @@ func init() {
 	Register(RSB{Refine: true})
 	Register(KL{})
 	Register(Multilevel{})
+	Register(Streaming{})
 }
 
 // serialBisectPartition is the shared driver of the serial recursive-

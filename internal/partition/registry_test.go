@@ -80,14 +80,14 @@ func TestNamesSorted(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"BLOCK", "RANDOM", "RCB", "INERTIAL", "RSB", "RSB-KL", "KL", "MULTILEVEL"} {
+	for _, want := range []string{"BLOCK", "RANDOM", "RCB", "INERTIAL", "RSB", "RSB-KL", "KL", "MULTILEVEL", "STREAM"} {
 		if !seen[want] {
 			t.Errorf("built-in %q missing from Names(): %v", want, names)
 		}
 	}
 }
 
-// TestBuiltinCapabilities pins the capability metadata of all eight
+// TestBuiltinCapabilities pins the capability metadata of all nine
 // built-in partitioners.
 func TestBuiltinCapabilities(t *testing.T) {
 	want := map[string]Capabilities{
@@ -99,6 +99,7 @@ func TestBuiltinCapabilities(t *testing.T) {
 		"RSB-KL":     {NeedsLink: true},
 		"KL":         {NeedsLink: true},
 		"MULTILEVEL": {NeedsLink: true, Parallel: true, Tunable: true},
+		"STREAM":     {NeedsLink: true, OutOfCore: true},
 	}
 	for name, caps := range want {
 		p, err := Lookup(name)

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"chaos/internal/geocol"
+	"chaos/internal/stream"
 )
 
 // Method is the typed identity of a partitioning method — the
@@ -26,6 +27,20 @@ const (
 	MethodRSBKL      Method = "RSB-KL"
 	MethodKL         Method = "KL"
 	MethodMultilevel Method = "MULTILEVEL"
+	MethodStream     Method = "STREAM"
+)
+
+// StreamObjective names the greedy placement rule of the STREAM
+// method (spec-level counterpart of stream.Objective).
+type StreamObjective string
+
+// STREAM objectives.
+const (
+	// ObjectiveLDG is linear deterministic greedy placement (the
+	// STREAM default).
+	ObjectiveLDG StreamObjective = "LDG"
+	// ObjectiveFennel is the degree-penalized Fennel objective.
+	ObjectiveFennel StreamObjective = "FENNEL"
 )
 
 // Spec is a typed, validated partitioner selection: the method plus
@@ -63,6 +78,19 @@ type Spec struct {
 	// Imbalance is the balance tolerance of the distributed multilevel
 	// refinement (fractional; 0 = default 0.07, must stay below 0.5).
 	Imbalance float64
+
+	// Objective selects the STREAM placement rule ("" = ObjectiveLDG).
+	Objective StreamObjective
+	// StreamBuffer is STREAM's bounded buffer budget in vertices — the
+	// slab/pipeline chunk granularity (0 = stream default 4096).
+	StreamBuffer int
+	// Restreams is STREAM's count of additional buffered re-placement
+	// passes (0 = single pass; at most 16).
+	Restreams int
+	// BalanceSlack is STREAM's part-capacity slack fraction: no part
+	// exceeds (1+BalanceSlack) x the ideal load (0 = default 0.05,
+	// must stay below 0.5).
+	BalanceSlack float64
 }
 
 // tuned reports whether any multilevel tuning knob departs from its
@@ -71,6 +99,13 @@ type Spec struct {
 func (sp Spec) tuned() bool {
 	return sp.CoarsenTo != 0 || sp.ParallelThreshold != 0 ||
 		sp.FMPasses != 0 || sp.VCycle || sp.Imbalance != 0
+}
+
+// streamTuned reports whether any STREAM tuning knob departs from its
+// zero (method-default) value.
+func (sp Spec) streamTuned() bool {
+	return sp.Objective != "" || sp.StreamBuffer != 0 ||
+		sp.Restreams != 0 || sp.BalanceSlack != 0
 }
 
 // String renders the spec in the form ParseSpec accepts: the bare
@@ -95,6 +130,18 @@ func (sp Spec) String() string {
 	}
 	if sp.Imbalance != 0 {
 		opts = append(opts, fmt.Sprintf("Imbalance=%g", sp.Imbalance))
+	}
+	if sp.Objective != "" {
+		opts = append(opts, fmt.Sprintf("Objective=%s", sp.Objective))
+	}
+	if sp.StreamBuffer != 0 {
+		opts = append(opts, fmt.Sprintf("StreamBuffer=%d", sp.StreamBuffer))
+	}
+	if sp.Restreams != 0 {
+		opts = append(opts, fmt.Sprintf("Restreams=%d", sp.Restreams))
+	}
+	if sp.BalanceSlack != 0 {
+		opts = append(opts, fmt.Sprintf("BalanceSlack=%g", sp.BalanceSlack))
 	}
 	if len(opts) == 0 {
 		return string(sp.Method)
@@ -157,8 +204,16 @@ func ParseSpec(s string) (Spec, error) {
 			sp.Seed, err = strconv.ParseUint(val, 10, 64)
 		case "imbalance":
 			sp.Imbalance, err = strconv.ParseFloat(val, 64)
+		case "objective":
+			sp.Objective = StreamObjective(strings.ToUpper(val))
+		case "streambuffer":
+			sp.StreamBuffer, err = strconv.Atoi(val)
+		case "restreams":
+			sp.Restreams, err = strconv.Atoi(val)
+		case "balanceslack":
+			sp.BalanceSlack, err = strconv.ParseFloat(val, 64)
 		default:
-			return Spec{}, fmt.Errorf("partition: unknown spec option %q (have CoarsenTo, ParallelThreshold, FMPasses, VCycle, Seed, Imbalance)", strings.TrimSpace(kv[:eq]))
+			return Spec{}, fmt.Errorf("partition: unknown spec option %q (have CoarsenTo, ParallelThreshold, FMPasses, VCycle, Seed, Imbalance, Objective, StreamBuffer, Restreams, BalanceSlack)", strings.TrimSpace(kv[:eq]))
 		}
 		if err != nil {
 			return Spec{}, fmt.Errorf("partition: bad value for spec option %s: %v", key, err)
@@ -203,6 +258,34 @@ func (sp Spec) Resolve() (Partitioner, error) {
 	if sp.tuned() && !isML {
 		return nil, fmt.Errorf("partition: method %s does not accept multilevel tuning options (CoarsenTo/ParallelThreshold/FMPasses/VCycle/Imbalance); they apply to %s only", sp.Method, MethodMultilevel)
 	}
+	st, isStream := p.(Streaming)
+	if sp.streamTuned() && !isStream {
+		return nil, fmt.Errorf("partition: method %s does not accept streaming tuning options (Objective/StreamBuffer/Restreams/BalanceSlack); they apply to %s only", sp.Method, MethodStream)
+	}
+	if isStream {
+		switch sp.Objective {
+		case "", ObjectiveLDG:
+			st.Objective = stream.LDG
+		case ObjectiveFennel:
+			st.Objective = stream.Fennel
+		default:
+			return nil, fmt.Errorf("partition: spec %s: unknown Objective %q (have %s, %s)", sp.Method, sp.Objective, ObjectiveLDG, ObjectiveFennel)
+		}
+		if sp.StreamBuffer < 0 {
+			return nil, fmt.Errorf("partition: spec %s: StreamBuffer %d is negative", sp.Method, sp.StreamBuffer)
+		}
+		if sp.Restreams < 0 || sp.Restreams > 16 {
+			return nil, fmt.Errorf("partition: spec %s: Restreams %d out of range [0, 16]", sp.Method, sp.Restreams)
+		}
+		if sp.BalanceSlack != 0 && (sp.BalanceSlack < 0 || sp.BalanceSlack >= 0.5) {
+			return nil, fmt.Errorf("partition: spec %s: BalanceSlack %g out of range (0, 0.5)", sp.Method, sp.BalanceSlack)
+		}
+		st.Buffer = sp.StreamBuffer
+		st.Restreams = sp.Restreams
+		st.Slack = sp.BalanceSlack
+		st.Seed = sp.Seed
+		return st, nil
+	}
 	if isML {
 		if sp.CoarsenTo != 0 {
 			ml.CoarsenTo = sp.CoarsenTo
@@ -227,7 +310,7 @@ func (sp Spec) Resolve() (Partitioner, error) {
 	if sp.Seed != 0 {
 		rp, isRandom := p.(RandomPartitioner)
 		if !isRandom {
-			return nil, fmt.Errorf("partition: method %s does not accept a Seed; it applies to %s and %s", sp.Method, MethodRandom, MethodMultilevel)
+			return nil, fmt.Errorf("partition: method %s does not accept a Seed; it applies to %s, %s and %s", sp.Method, MethodRandom, MethodMultilevel, MethodStream)
 		}
 		rp.Seed = sp.Seed
 		return rp, nil

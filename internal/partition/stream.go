@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"chaos/internal/geocol"
+	"chaos/internal/machine"
+	"chaos/internal/stream"
+)
+
+// Streaming is the registry adapter of internal/stream's out-of-core
+// partitioner family (method "STREAM"): the buffered bootstrap
+// (streaming clustering plus an in-memory coarse solve) followed by
+// greedy re-placement passes under the LDG or Fennel objective. Under
+// the SPMD machine it follows the replicated-cost convention of the
+// serial methods (see serialBisectPartition): the GeoCoL graph is
+// gathered and every rank runs the identical deterministic pipeline,
+// so the result is bit-for-bit independent of the rank count and
+// backend. Resident state of the pipeline itself is one slab plus the
+// O(nparts) placer and the vertex-proportional bootstrap model — the
+// out-of-core contract Capabilities.OutOfCore declares;
+// stream.Partition is the machine-free entry point that honors it
+// against file streams the machine path never needs.
+type Streaming struct {
+	// Objective selects stream.LDG (default) or stream.Fennel.
+	Objective stream.Objective
+	// Buffer is the resident fringe granularity in vertices per slab
+	// (0 = stream.DefaultSlabVerts).
+	Buffer int
+	// Restreams is the number of additional re-placement passes.
+	Restreams int
+	// Slack is the part-capacity slack fraction (0 = default 0.05).
+	Slack float64
+	// Seed salts deterministic tie-breaking.
+	Seed uint64
+}
+
+func (Streaming) Name() string { return "STREAM" }
+
+// Capabilities: STREAM consumes connectivity only and keeps O(parts)
+// partitioner state per pass — the only registry method that does not
+// need the edge set resident.
+func (Streaming) Capabilities() Capabilities {
+	return Capabilities{NeedsLink: true, OutOfCore: true}
+}
+
+func (sp Streaming) Partition(c *machine.Ctx, g *geocol.Graph, nparts int) []int {
+	checkArgs(g, nparts)
+	if !g.HasLink {
+		panic("partition: STREAM requires a GeoCoL LINK component")
+	}
+	f := g.Gather(c)
+
+	chunk := sp.Buffer
+	if chunk <= 0 {
+		chunk = stream.DefaultSlabVerts
+	}
+	var w []float64
+	if f.HasLoad {
+		w = f.Weights
+	}
+	// Every rank runs the identical deterministic pipeline on the
+	// gathered graph; fine-level edges are treated as unit weight (the
+	// edge-stream model carries none).
+	part, err := stream.PartitionWeighted(stream.NewMemStream(f.XAdj, f.Adj, chunk),
+		nparts, w, stream.Options{
+			Objective: sp.Objective,
+			Slack:     sp.Slack,
+			Restreams: sp.Restreams,
+			Seed:      sp.Seed,
+		})
+	if err != nil {
+		panic("partition: STREAM on gathered graph: " + err.Error())
+	}
+
+	// Modeled cost, replicated on every clock: a k-way scan per vertex
+	// plus a touch per directed edge, once per pass (the bootstrap's
+	// two model passes included).
+	passes := 3 + sp.Restreams
+	c.Flops(passes * (g.N*nparts + 2*f.NEdges))
+
+	lo := g.Home.Lo(c.Rank())
+	out := make([]int, g.LocalN(c.Rank()))
+	copy(out, part[lo:lo+len(out)])
+	return out
+}
+
+// Cut returns the exact weighted edge cut of a distributed partition
+// (home-local, as the partitioners return it). It builds a throwaway
+// ghost exchange; callers refining repeatedly should keep their own.
+// Collective.
+func Cut(c *machine.Ctx, g *geocol.Graph, part []int) float64 {
+	me := c.Rank()
+	lo := g.Home.Lo(me)
+	ge := geocol.NewGhostExchange(c, g)
+	gp := ge.PushInts(c, part)
+	w := 0.0
+	for l := 0; l < g.LocalN(me); l++ {
+		for k := g.XAdj[l]; k < g.XAdj[l+1]; k++ {
+			u := g.Adj[k]
+			var q int
+			if g.Home.Owner(u) == me {
+				q = part[u-lo]
+			} else {
+				q = gp[ge.Slot(u)]
+			}
+			if q != part[l] {
+				if g.EdgeW != nil {
+					w += g.EdgeW[k]
+				} else {
+					w++
+				}
+			}
+		}
+	}
+	return c.SumFloat(w) / 2
+}
+
+// RefineLadder refines a seed partition (e.g. a STREAM first-touch
+// cold start) at every scale and retains the resulting
+// partition-preserving coarsening ladder for incremental warm
+// Repartition — the bridge that lets a cheap streaming partition
+// bootstrap the multilevel warm path without ever paying a full cold
+// MULTILEVEL run. It mirrors vcycleRefine (coarsen with matching
+// restricted to same-part pairs, polish the gathered coarsest level,
+// project and FM-refine back up), but keeps the ladder instead of
+// discarding it. On the serial path (single rank or a sub-threshold
+// graph) the seed is polished by the serial k-way FM and no ladder is
+// retained, matching PartitionLadder's convention. The seed must be
+// home-local with nparts parts; it is not modified. Collective.
+func (ml Multilevel) RefineLadder(c *machine.Ctx, g *geocol.Graph, nparts int, seed []int) ([]int, *Ladder) {
+	checkArgs(g, nparts)
+	if !g.HasLink {
+		panic("partition: MULTILEVEL requires a GeoCoL LINK component")
+	}
+	part := append([]int(nil), seed...)
+	ar := &arena{}
+	thr := ml.parallelThreshold()
+	if !(c.Procs() > 1 && thr > 0 && g.N >= thr && g.N > ml.serialTo(nparts)) {
+		serialKway(c, ar, g, part, nparts, 8, ml.tol())
+		return part, nil
+	}
+
+	totalW := 0.0
+	for l := 0; l < g.LocalN(c.Rank()); l++ {
+		totalW += g.Weight(l)
+	}
+	totalW = c.SumFloat(totalW)
+	maxW := totalW * 0.01
+
+	serialTo := ml.serialTo(nparts)
+	levels, cur, cpart := buildLadder(c, ar, g, serialTo, maxW, ml.Seed^0xbf58476d1ce4e5b9, part)
+	if len(levels) == 0 {
+		// Matching stalled immediately: refine flat, nothing to retain.
+		ml.refineLevel(c, ar, g, geocol.NewGhostExchange(c, g), part, nparts, true)
+		return part, nil
+	}
+	serialKway(c, ar, cur, cpart, nparts, 8, ml.tol())
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		cpart = projectPart(c, &ar.proj, lv.fine, lv.cmap, lv.coarse.Home, cpart)
+		ml.refineLevel(c, ar, lv.fine, lv.ge, cpart, nparts, i == 0)
+	}
+	ld := &Ladder{n: g.N, nparts: nparts, levels: levels, coarsest: cur, ar: ar}
+	return cpart, ld
+}

@@ -433,6 +433,10 @@ func encodeRequest(req *Request) []byte {
 	}
 	w.u64(sp.Seed)
 	w.f64(sp.Imbalance)
+	w.str(string(sp.Objective))
+	w.i64(int64(sp.StreamBuffer))
+	w.i64(int64(sp.Restreams))
+	w.f64(sp.BalanceSlack)
 	if flags&flagEdges != 0 {
 		w.ints(req.E1)
 		w.ints(req.E2)
@@ -479,6 +483,10 @@ func decodeRequest(p []byte) (*Request, error) {
 		VCycle:            r.byteVal() != 0,
 		Seed:              r.u64(),
 		Imbalance:         r.f64(),
+		Objective:         partition.StreamObjective(r.str(maxMethodLen)),
+		StreamBuffer:      int(r.i64()),
+		Restreams:         int(r.i64()),
+		BalanceSlack:      r.f64(),
 	}
 	if flags&flagEdges != 0 {
 		req.E1 = r.ints()

@@ -42,6 +42,12 @@ func TestRequestRoundTrip(t *testing.T) {
 			Spec: partition.Spec{Method: partition.MethodMultilevel, FMPasses: -1, ParallelThreshold: -1},
 			E1:   []int{0}, E2: []int{1},
 		},
+		"stream knobs": {
+			NNode: 6, NParts: 2,
+			Spec: partition.Spec{Method: partition.MethodStream, Objective: partition.ObjectiveFennel,
+				StreamBuffer: 1024, Restreams: 3, BalanceSlack: 0.1, Seed: 7},
+			E1: []int{0, 1}, E2: []int{1, 2},
+		},
 	}
 	for name, req := range cases {
 		got, err := decodeRequest(encodeRequest(req))
